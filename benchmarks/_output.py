@@ -1,0 +1,18 @@
+"""Shared output helper: print each figure's table and persist it.
+
+pytest captures stdout, so every bench also writes its table under
+``benchmarks/results/`` — after a run, that directory contains the full
+set of regenerated tables/figures (the data recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

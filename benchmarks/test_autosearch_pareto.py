@@ -1,0 +1,88 @@
+"""Automated Neuro-C exploration (§6's future-work item).
+
+Not a paper figure: the paper deliberately used manual selection and
+names systematic exploration as future work.  This bench runs the
+implemented search on the digits task and prints the Pareto frontier of
+(accuracy, latency, program memory).
+"""
+
+from _output import emit
+
+from repro.core.autosearch import CandidateResult, pareto_frontier, search
+from repro.datasets import load
+from repro.experiments.cache import cached_json
+from repro.experiments.tables import format_table
+
+SEARCH_BUDGET = 8
+EPOCHS = 15
+
+
+def _run_search() -> list[dict]:
+    def compute() -> list[dict]:
+        outcome = search(
+            load("digits_like"), count=SEARCH_BUDGET, epochs=EPOCHS,
+            lr=0.01, seed=0,
+        )
+        return [
+            {
+                "hidden": list(c.config.hidden),
+                "threshold": c.config.threshold,
+                "accuracy": c.accuracy,
+                "latency_ms": c.latency_ms,
+                "memory_kb": c.memory_kb,
+                "deployable": c.deployable,
+                "nnz": c.nnz,
+            }
+            for c in outcome.all_results
+        ]
+
+    return cached_json(
+        f"autosearch-digits-{SEARCH_BUDGET}-{EPOCHS}", compute
+    )
+
+
+def test_autosearch_pareto_frontier(benchmark):
+    raw = benchmark.pedantic(
+        _run_search, rounds=1, iterations=1, warmup_rounds=0
+    )
+    from repro.core.neuroc import NeuroCConfig
+
+    results = [
+        CandidateResult(
+            config=NeuroCConfig(64, 10, hidden=tuple(r["hidden"]),
+                                threshold=r["threshold"]),
+            accuracy=r["accuracy"], latency_ms=r["latency_ms"],
+            memory_kb=r["memory_kb"], deployable=r["deployable"],
+            nnz=r["nnz"],
+        )
+        for r in raw
+    ]
+    frontier = pareto_frontier(results)
+    rows = [
+        (
+            "x".join(map(str, c.config.hidden)),
+            c.config.threshold,
+            f"{c.accuracy:.3f}",
+            f"{c.latency_ms:.2f}",
+            f"{c.memory_kb:.2f}",
+            "*" if c in frontier else "",
+        )
+        for c in sorted(results, key=lambda c: c.latency_ms)
+    ]
+    emit(
+        "autosearch_pareto",
+        format_table(
+            ("hidden", "threshold", "accuracy", "latency ms", "flash KB",
+             "pareto"),
+            rows,
+            title=f"Automated Neuro-C search on digits_like "
+                  f"({SEARCH_BUDGET} candidates)",
+        ),
+    )
+    assert 1 <= len(frontier) <= len(results)
+    assert max(c.accuracy for c in results) > 0.85
+    # Every dominated point is beaten by some frontier point.
+    for candidate in results:
+        if candidate in frontier:
+            continue
+        assert any(f.dominates(candidate) for f in frontier)

@@ -1,0 +1,31 @@
+"""Figure 1: test accuracy vs parameter count per adjacency strategy.
+
+Paper shape: the quantization-aware (learned) connectivity dominates the
+accuracy-per-parameter frontier over random, constrained-random, and
+locality supports.
+
+Training-backed: the first run trains the full grid (cached under
+``.repro_cache/``); subsequent runs reuse it.
+"""
+
+from _output import emit
+
+from repro.experiments import fig1
+
+
+def test_fig1_adjacency_strategies(benchmark):
+    points = benchmark.pedantic(
+        fig1.run_fig1, rounds=1, iterations=1, warmup_rounds=0
+    )
+    lines = [fig1.format_fig1(points), ""]
+    frontier = fig1.frontier_by_strategy(points)
+    for strategy, row in sorted(frontier.items()):
+        budgets = ", ".join(
+            f"<= {budget}: {acc:.3f}" for budget, acc in sorted(row.items())
+        )
+        lines.append(f"frontier {strategy:18s} {budgets}")
+    emit("fig1_adjacency_strategies", "\n".join(lines))
+
+    assert fig1.quantization_wins(points)
+    # All four strategies must actually be represented in the grid.
+    assert len(frontier) == 4

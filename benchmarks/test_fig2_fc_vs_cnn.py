@@ -1,0 +1,22 @@
+"""Figure 2: FC vs conv layer latency at equal MACC counts (Cortex-M0).
+
+Paper shape: FC layers beat their MACC-matched conv counterparts at both
+size points, because the conv pays im2col materialization and short GEMM
+inner loops.
+"""
+
+from _output import emit
+
+from repro.experiments import fig2
+
+
+def test_fig2_fc_vs_cnn(benchmark):
+    rows = benchmark(fig2.run_fig2)
+    emit("fig2_fc_vs_cnn", fig2.format_fig2(rows))
+    assert fig2.fc_always_faster(rows)
+    # The FC advantage should be a visible margin, not rounding noise.
+    by_pair = {}
+    for row in rows:
+        by_pair.setdefault(row.pair, {})[row.kind] = row.latency_ms
+    for pair in by_pair.values():
+        assert pair["cnn"] / pair["fc"] > 1.10

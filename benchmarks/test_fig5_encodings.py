@@ -1,0 +1,41 @@
+"""Figures 5a/5b: latency and flash of the four sparse encodings.
+
+Paper shape at every swept output size:
+- latency: delta < mixed < block < csc  (5a)
+- memory:  block smallest, csc largest  (5b)
+"""
+
+from _output import emit
+
+from repro.core.zoo import PAPER_REFERENCE
+from repro.experiments import fig5
+from repro.experiments.tables import ratio_str
+
+
+def test_fig5_encoding_latency_and_flash(benchmark):
+    points = benchmark(fig5.run_fig5)
+    lines = [fig5.format_fig5(points), ""]
+
+    at256 = fig5.by_format_at(points, 256)
+    paper_latency = PAPER_REFERENCE["fig5a_latency_ms_at_256"]
+    for fmt, point in at256.items():
+        lines.append(
+            f"fig5a {fmt:6s} @256: "
+            + ratio_str(point.latency_ms, paper_latency.get(fmt))
+        )
+    paper_flash = PAPER_REFERENCE["fig5b_flash_kb_at_256"]
+    for fmt in ("block", "csc"):
+        lines.append(
+            f"fig5b {fmt:6s} @256: "
+            + ratio_str(at256[fmt].flash_kb, paper_flash.get(fmt))
+        )
+    emit("fig5_encodings", "\n".join(lines))
+
+    assert fig5.latency_ordering_holds(points)
+    assert fig5.memory_ordering_holds(points)
+    # Block's guaranteed-8-bit storage should save roughly half of CSC's
+    # 16-bit layout, as in the paper (11.6 vs 20.1 KB).
+    ratio = at256["block"].connectivity_bytes / at256[
+        "csc"
+    ].connectivity_bytes
+    assert 0.4 < ratio < 0.65

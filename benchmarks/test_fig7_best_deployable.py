@@ -1,0 +1,39 @@
+"""Figure 7: best deployable MLP vs Neuro-C on all three datasets.
+
+Paper shape: Neuro-C matches or beats the best deployable MLP's accuracy
+on every dataset while cutting inference latency and program memory by a
+large factor.
+"""
+
+from _output import emit
+
+from repro.core.zoo import PAPER_REFERENCE
+from repro.experiments import fig7
+from repro.experiments.tables import ratio_str
+
+
+def test_fig7_best_deployable(benchmark):
+    rows = benchmark.pedantic(
+        fig7.run_fig7, rounds=1, iterations=1, warmup_rounds=0
+    )
+    lines = [fig7.format_fig7(rows), ""]
+    pairs = fig7.pairs_by_dataset(rows)
+    for dataset, pair in pairs.items():
+        paper_lat = PAPER_REFERENCE["fig7_latency_ms"][dataset]
+        lines.append(
+            f"{dataset}: neuroc latency "
+            + ratio_str(pair["neuroc"].latency_ms, paper_lat["neuroc"])
+            + " | mlp latency "
+            + ratio_str(pair["mlp"].latency_ms, paper_lat["mlp"])
+        )
+    emit("fig7_best_deployable", "\n".join(lines))
+
+    assert len(rows) == 6
+    for dataset, pair in pairs.items():
+        neuroc, mlp = pair["neuroc"], pair["mlp"]
+        assert neuroc.deployable and mlp.deployable, dataset
+        # Accuracy: Neuro-C matches or beats the deployable MLP.
+        assert neuroc.accuracy >= mlp.accuracy - 0.005, dataset
+        # Efficiency: a clear multiple in both latency and memory.
+        assert mlp.latency_ms / neuroc.latency_ms > 1.5, dataset
+        assert mlp.memory_kb / neuroc.memory_kb > 1.3, dataset

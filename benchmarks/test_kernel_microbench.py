@@ -1,0 +1,54 @@
+"""Microbenchmarks of the library's own hot paths.
+
+Not a paper figure — these keep the simulator and cost model honest as
+software: encoding a layer, pricing its kernel analytically, and executing
+it on the interpreter all have to stay fast enough for the sweeps the
+figure benchmarks run.
+"""
+
+import numpy as np
+
+from repro.core.adjacency import clustered_adjacency
+from repro.kernels.codegen_sparse import (
+    count_sparse,
+    encode_for_kernel,
+    generate_sparse,
+)
+from repro.kernels.spec import make_neuroc_spec
+from repro.mcu.board import STM32F072RB
+
+
+def _spec(n_in=256, n_out=32, density=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    adjacency = clustered_adjacency(n_in, n_out, density, rng)
+    return make_neuroc_spec(
+        adjacency=adjacency,
+        bias=rng.integers(-100, 100, n_out).astype(np.int32),
+        mult=rng.integers(50, 200, n_out).astype(np.int16),
+        shift=10, act_in_width=2, act_out_width=2, relu=True,
+    )
+
+
+def test_encode_block_format(benchmark):
+    spec = _spec()
+    encoding = benchmark(encode_for_kernel, spec, "block")
+    assert encoding.nnz > 0
+
+
+def test_analytic_cost_model(benchmark):
+    spec = _spec()
+    count = benchmark(count_sparse, spec, "block")
+    assert count.cycles(STM32F072RB.costs) > 0
+
+
+def test_interpreter_executes_block_kernel(benchmark):
+    spec = _spec(n_in=64, n_out=8)
+    x = np.random.default_rng(1).integers(-50, 50, 64)
+
+    def run_once():
+        image = generate_sparse(spec, "block")
+        image.write_input(x)
+        return image.run().cycles
+
+    cycles = benchmark(run_once)
+    assert cycles == count_sparse(spec, "block").cycles(STM32F072RB.costs)

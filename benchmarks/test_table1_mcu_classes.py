@@ -1,0 +1,20 @@
+"""Table 1: qualitative MCU resource classes."""
+
+from _output import emit
+
+from repro.mcu.board import (
+    CORTEX_M4_REFERENCE,
+    MCU_CLASSES,
+    STM32F072RB,
+    classify_board,
+    format_mcu_class_table,
+)
+
+
+def test_table1_mcu_classes(benchmark):
+    text = benchmark(format_mcu_class_table)
+    emit("table1_mcu_classes", text)
+    assert [c.name for c in MCU_CLASSES] == ["Low", "Medium", "Advanced"]
+    # The paper's evaluation platform sits in the Low class.
+    assert classify_board(STM32F072RB).name == "Low"
+    assert classify_board(CORTEX_M4_REFERENCE).name == "Medium"

@@ -1,0 +1,78 @@
+"""Export a trained Neuro-C model as a bare-metal C inference engine.
+
+Produces ``neuroc_model.c`` — a dependency-free C99 file with statically
+allocated arrays and fixed loop bounds, ready to drop into a Cortex-M0
+firmware build (``arm-none-eabi-gcc -Os``).  If a host C compiler is
+available, the script also compiles the file locally and verifies the
+binary against the Python reference on ten test inputs.
+
+Run:  python examples/export_c.py
+"""
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import NeuroCConfig, train_neuroc
+from repro.datasets import load
+from repro.deploy import generate_c_source
+from repro.kernels import model_forward
+
+OUTPUT = Path("neuroc_model.c")
+
+
+def main() -> None:
+    dataset = load("digits_like")
+    print("Training the model to export...")
+    trained = train_neuroc(
+        NeuroCConfig(
+            n_in=dataset.num_features, n_out=dataset.num_classes,
+            hidden=(48,), threshold=0.85, name="export",
+        ),
+        dataset, epochs=35, lr=0.01,
+    )
+    print(f"int8 accuracy: {trained.quantized_accuracy:.4f}")
+
+    source = generate_c_source(trained.quantized)
+    OUTPUT.write_text(source)
+    print(f"\nwrote {OUTPUT} "
+          f"({len(source.splitlines())} lines, "
+          f"{len(source)} bytes of source)")
+    print("interface: void neuroc_infer(const int8_t *input, "
+          "int16_t *logits);")
+
+    if shutil.which("gcc") is None:
+        print("no host C compiler found - skipping local verification")
+        return
+
+    print("\nVerifying with the host compiler...")
+    with tempfile.TemporaryDirectory() as tmp:
+        test_c = Path(tmp) / "test.c"
+        test_c.write_text(
+            generate_c_source(trained.quantized, with_test_main=True)
+        )
+        binary = Path(tmp) / "model"
+        subprocess.run(
+            ["gcc", "-std=c99", "-O2", "-o", str(binary), str(test_c)],
+            check=True,
+        )
+        matches = 0
+        for row in dataset.x_test[:10]:
+            x_int = trained.quantized.quantize_input(row)
+            out = subprocess.run(
+                [str(binary)],
+                input=" ".join(str(int(v)) for v in x_int),
+                capture_output=True, text=True, check=True,
+            )
+            c_logits = np.array([int(v) for v in out.stdout.split()])
+            expected = model_forward(trained.quantized.specs, x_int)
+            matches += int(np.array_equal(c_logits, expected))
+        print(f"compiled C output bit-exact with the reference on "
+              f"{matches}/10 test inputs")
+
+
+if __name__ == "__main__":
+    main()

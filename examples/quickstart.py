@@ -1,0 +1,62 @@
+"""Quickstart: train a Neuro-C model and run it on the simulated MCU.
+
+Walks the full §5.1 pipeline on a small digit-classification task:
+
+1. generate the dataset,
+2. train with fake-quantized (STE) ternary training,
+3. post-training int8 quantization,
+4. deploy onto the simulated STM32F072RB (block encoding),
+5. run on-device inference and report the three paper metrics —
+   accuracy, latency, program memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import NeuroCConfig, train_neuroc
+from repro.datasets import load
+from repro.deploy import deploy
+from repro.mcu import STM32F072RB
+
+
+def main() -> None:
+    print("Loading the 8x8 digits task...")
+    dataset = load("digits_like")
+
+    print("Training Neuro-C (ternary adjacency + per-neuron scaling)...")
+    config = NeuroCConfig(
+        n_in=dataset.num_features,
+        n_out=dataset.num_classes,
+        hidden=(48,),
+        threshold=0.85,       # higher -> sparser adjacency
+        name="quickstart",
+    )
+    trained = train_neuroc(config, dataset, epochs=35, lr=0.01)
+    print(trained.model.summary())
+    print(f"float accuracy: {trained.float_accuracy:.4f}")
+    print(f"int8  accuracy: {trained.quantized_accuracy:.4f}")
+
+    print(f"\nDeploying to {STM32F072RB.name} "
+          f"({STM32F072RB.core} @ {STM32F072RB.clock_hz // 10**6} MHz)...")
+    deployment = deploy(trained.quantized, format_name="block")
+    report = deployment.program_memory
+    print(f"program memory: {report.total_kb:.1f} KB "
+          f"(text {report.text_bytes} B + weights {report.rodata_bytes} B "
+          f"+ startup {report.startup_bytes} B)")
+    print(f"fits the 128 KB flash: {report.fits(STM32F072RB)}")
+
+    print("\nRunning one on-device inference...")
+    result = deployment.model.infer(dataset.x_test[0])
+    print(f"predicted class {result.label} "
+          f"(true {dataset.y_test[0]}) in {result.cycles} cycles "
+          f"= {result.latency_ms:.2f} ms")
+
+    sample = slice(0, 100)
+    simulated = deployment.model.accuracy(
+        dataset.x_test[sample], dataset.y_test[sample]
+    )
+    print(f"on-device accuracy over 100 samples: {simulated:.4f} "
+          "(bit-exact with the host reference)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of "Neuro-C: Neural Inference Shaped by Hardware Limits"
+(Romano, Mottola, Voigt — EuroSys 2026).
+
+Neuro-C eliminates per-connection multiply-accumulates: connectivity is a
+fixed ternary adjacency matrix and the only learned multiplicative
+parameter is a per-neuron scale ``w_j``.  This package contains the full
+pipeline the paper describes plus every substrate its evaluation needs:
+
+- :mod:`repro.nn`        — quantization-aware training (NumPy, from scratch)
+- :mod:`repro.core`      — Neuro-C models, MLP/TNN baselines, model zoo
+- :mod:`repro.quantize`  — int8/int16 post-training quantization
+- :mod:`repro.encodings` — the four sparse connectivity formats of §4.2
+- :mod:`repro.kernels`   — reference, generated-ISA, and analytical kernels
+- :mod:`repro.mcu`       — Cortex-M0 cost-model simulator (miniature ISA)
+- :mod:`repro.deploy`    — flash sizing, simulated flashing, C export
+- :mod:`repro.datasets`  — procedural stand-ins for the paper's datasets
+- :mod:`repro.experiments` — one module per evaluation table/figure
+
+Quickstart::
+
+    from repro.datasets import load
+    from repro.core import NeuroCConfig, train_neuroc
+    from repro.deploy import deploy
+
+    dataset = load("digits_like")
+    trained = train_neuroc(
+        NeuroCConfig(64, 10, hidden=(48,), threshold=0.9), dataset
+    )
+    deployment = deploy(trained.quantized, format_name="block")
+    print(deployment.program_memory.total_kb, deployment.latency_ms)
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,209 @@
+"""Command-line interface: train, evaluate, deploy, export.
+
+The paper's workflow as shell commands::
+
+    python -m repro datasets
+    python -m repro train --dataset digits_like --hidden 48 \
+        --threshold 0.85 --epochs 35 --lr 0.01 --out model.npz
+    python -m repro evaluate --model model.npz --dataset digits_like
+    python -m repro deploy --model model.npz --format block \
+        --c-out engine.c --firmware-out image.bin
+    python -m repro encodings --model model.npz
+    python -m repro zoo
+
+Every command prints human-readable results to stdout and exits non-zero
+on failure, so the CLI scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.datasets import dataset_names, load
+
+    for name in dataset_names():
+        dataset = load(name, n_train=10, n_test=10)
+        print(
+            f"{name:14s} features={dataset.num_features:5d} "
+            f"classes={dataset.num_classes} "
+            f"image_shape={dataset.image_shape}"
+        )
+    return 0
+
+
+def _cmd_zoo(_args) -> int:
+    from repro.core.zoo import BEST_DEPLOYABLE, NEUROC_ZOO
+
+    for key, entry in NEUROC_ZOO.items():
+        config = entry.config
+        role = [
+            f"best for {ds}" for ds, k in BEST_DEPLOYABLE.items() if k == key
+        ]
+        print(
+            f"{key:14s} hidden={'x'.join(map(str, config.hidden)):9s} "
+            f"threshold={config.threshold} epochs={entry.epochs} "
+            f"{'(' + role[0] + ')' if role else ''}"
+        )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.neuroc import NeuroCConfig, train_neuroc
+    from repro.datasets import load
+    from repro.deploy.serialization import save_quantized_model
+
+    dataset = load(args.dataset)
+    config = NeuroCConfig(
+        n_in=dataset.num_features,
+        n_out=dataset.num_classes,
+        hidden=tuple(args.hidden),
+        threshold=args.threshold,
+        seed=args.seed,
+        name=f"cli-{args.dataset}",
+    )
+    print(f"training Neuro-C {config.layer_dims} on {args.dataset} ...")
+    trained = train_neuroc(
+        config, dataset, epochs=args.epochs, lr=args.lr
+    )
+    print(f"float accuracy: {trained.float_accuracy:.4f}")
+    print(f"int8  accuracy: {trained.quantized_accuracy:.4f}")
+    path = save_quantized_model(trained.quantized, args.out)
+    print(f"saved quantized model to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.datasets import load
+    from repro.deploy.serialization import load_quantized_model
+
+    model = load_quantized_model(args.model)
+    dataset = load(args.dataset)
+    if dataset.num_features != model.n_in:
+        raise ReproError(
+            f"model expects {model.n_in} features but {args.dataset} "
+            f"has {dataset.num_features}"
+        )
+    accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+    print(f"int8 accuracy on {args.dataset}: {accuracy:.4f}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from repro.deploy.deployer import deploy
+    from repro.deploy.serialization import load_quantized_model
+    from repro.mcu.board import STM32F072RB
+
+    model = load_quantized_model(args.model)
+    deployment = deploy(model, format_name=args.format)
+    report = deployment.program_memory
+    print(f"target: {STM32F072RB.name} ({STM32F072RB.core} @ "
+          f"{STM32F072RB.clock_hz // 10**6} MHz), encoding: {args.format}")
+    print(f"program memory: {report.total_kb:.1f} KB "
+          f"(fits 128 KB flash: {report.fits(STM32F072RB)})")
+    print(f"inference latency: {deployment.latency_ms:.2f} ms")
+    if not deployment.deployable:
+        print("model does NOT fit the board", file=sys.stderr)
+        return 2
+    if args.c_out:
+        from repro.deploy.cgen import generate_c_source
+
+        with open(args.c_out, "w") as handle:
+            handle.write(generate_c_source(model))
+        print(f"wrote C inference engine to {args.c_out}")
+    if args.firmware_out:
+        from repro.deploy.firmware import pack_firmware_image
+
+        image = pack_firmware_image(deployment.model)
+        with open(args.firmware_out, "wb") as handle:
+            handle.write(image.blob)
+        print(f"wrote firmware image ({image.total_bytes} B) to "
+              f"{args.firmware_out}")
+    return 0
+
+
+def _cmd_encodings(args) -> int:
+    from repro.deploy.artifact import analytic_model_latency_ms
+    from repro.deploy.serialization import load_quantized_model
+    from repro.deploy.size import model_program_memory
+    from repro.kernels.codegen_sparse import SPARSE_FORMATS
+
+    model = load_quantized_model(args.model)
+    if any(spec.is_dense for spec in model.specs):
+        raise ReproError("encoding comparison requires a ternary model")
+    print(f"{'format':8s} {'latency ms':>11s} {'flash KB':>9s}")
+    for fmt in SPARSE_FORMATS:
+        latency = analytic_model_latency_ms(model, fmt)
+        memory = model_program_memory(model.specs, format_name=fmt)
+        print(f"{fmt:8s} {latency:11.2f} {memory.total_kb:9.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neuro-C reproduction: train, quantize, and deploy "
+                    "MAC-free neural inference for Cortex-M0 MCUs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the procedural datasets")
+    commands.add_parser("zoo", help="list the pinned paper configurations")
+
+    train = commands.add_parser("train", help="train + quantize a model")
+    train.add_argument("--dataset", default="digits_like")
+    train.add_argument("--hidden", type=int, nargs="+", default=[48])
+    train.add_argument("--threshold", type=float, default=0.85)
+    train.add_argument("--epochs", type=int, default=35)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default="model.npz")
+
+    evaluate = commands.add_parser("evaluate",
+                                   help="accuracy of a saved model")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--dataset", default="digits_like")
+
+    deploy = commands.add_parser(
+        "deploy", help="size/latency on the simulated board + exports"
+    )
+    deploy.add_argument("--model", required=True)
+    deploy.add_argument("--format", default="block",
+                        choices=("csc", "delta", "mixed", "block"))
+    deploy.add_argument("--c-out", help="write a C inference engine here")
+    deploy.add_argument("--firmware-out",
+                        help="write a packed firmware image here")
+
+    encodings = commands.add_parser(
+        "encodings", help="compare the four sparse encodings on a model"
+    )
+    encodings.add_argument("--model", required=True)
+
+    return parser
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "zoo": _cmd_zoo,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "deploy": _cmd_deploy,
+    "encodings": _cmd_encodings,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

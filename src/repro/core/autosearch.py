@@ -1,0 +1,170 @@
+"""Automated Neuro-C architecture exploration (§6's future-work item).
+
+The paper "deliberately relied on manual model selection" and names
+systematic exploration as future work.  This module implements it: a
+budget-aware random search over :class:`NeuroCConfig` space that scores
+every candidate on the three deployment metrics and returns the Pareto
+frontier of (accuracy, latency, program memory).
+
+It deliberately reuses the exact training/quantization/deployment
+pipeline the figures use, so a search result is directly comparable to
+the pinned zoo entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.neuroc import NeuroCConfig, train_neuroc
+from repro.datasets.base import Dataset
+from repro.deploy.artifact import analytic_model_latency_ms
+from repro.deploy.size import model_program_memory
+from repro.errors import ConfigurationError
+from repro.mcu.board import BoardProfile, STM32F072RB
+
+#: The search space: hidden-layer shapes and ternary thresholds.
+WIDTH_CHOICES = (32, 48, 64, 96, 128, 192, 256, 384, 512)
+DEPTH_CHOICES = (1, 1, 1, 2, 2)
+THRESHOLD_CHOICES = (0.80, 0.84, 0.88, 0.90, 0.92, 0.94)
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One evaluated point of the search."""
+
+    config: NeuroCConfig
+    accuracy: float
+    latency_ms: float
+    memory_kb: float
+    deployable: bool
+    nnz: int
+
+    def dominates(self, other: "CandidateResult") -> bool:
+        """Pareto dominance on (accuracy ↑, latency ↓, memory ↓)."""
+        at_least = (
+            self.accuracy >= other.accuracy
+            and self.latency_ms <= other.latency_ms
+            and self.memory_kb <= other.memory_kb
+        )
+        strictly = (
+            self.accuracy > other.accuracy
+            or self.latency_ms < other.latency_ms
+            or self.memory_kb < other.memory_kb
+        )
+        return at_least and strictly
+
+
+def sample_configs(
+    n_in: int,
+    n_out: int,
+    count: int,
+    seed: int = 0,
+) -> list[NeuroCConfig]:
+    """Draw ``count`` distinct configurations from the search space."""
+    if count < 1:
+        raise ConfigurationError("need at least one candidate")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xA5]))
+    configs: list[NeuroCConfig] = []
+    seen: set[tuple] = set()
+    attempts = 0
+    while len(configs) < count and attempts < 200 * count:
+        attempts += 1
+        depth = int(rng.choice(DEPTH_CHOICES))
+        widths = tuple(
+            sorted(
+                (int(rng.choice(WIDTH_CHOICES)) for _ in range(depth)),
+                reverse=True,
+            )
+        )
+        threshold = float(rng.choice(THRESHOLD_CHOICES))
+        key = (widths, threshold)
+        if key in seen:
+            continue
+        seen.add(key)
+        configs.append(
+            NeuroCConfig(
+                n_in=n_in, n_out=n_out, hidden=widths,
+                threshold=threshold, seed=seed + len(configs),
+                name=f"auto-{len(configs)}",
+            )
+        )
+    return configs
+
+
+def evaluate_candidate(
+    config: NeuroCConfig,
+    dataset: Dataset,
+    epochs: int,
+    lr: float,
+    board: BoardProfile,
+) -> CandidateResult:
+    trained = train_neuroc(config, dataset, epochs=epochs, lr=lr)
+    memory = model_program_memory(
+        trained.quantized.specs, format_name="block"
+    )
+    return CandidateResult(
+        config=config,
+        accuracy=trained.quantized_accuracy,
+        latency_ms=analytic_model_latency_ms(trained.quantized, "block",
+                                             board),
+        memory_kb=memory.total_kb,
+        deployable=memory.fits(board),
+        nnz=sum(layer.nnz for layer in trained.model.neuroc_layers()),
+    )
+
+
+def pareto_frontier(
+    results: list[CandidateResult],
+) -> list[CandidateResult]:
+    """Non-dominated candidates, sorted by ascending latency."""
+    frontier = [
+        candidate
+        for candidate in results
+        if not any(other.dominates(candidate) for other in results)
+    ]
+    return sorted(frontier, key=lambda c: c.latency_ms)
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    all_results: tuple[CandidateResult, ...]
+    frontier: tuple[CandidateResult, ...]
+
+    def best_under(
+        self, max_latency_ms: float | None = None,
+        max_memory_kb: float | None = None,
+    ) -> CandidateResult | None:
+        """Most accurate deployable candidate under the given budgets."""
+        eligible = [
+            c for c in self.all_results
+            if c.deployable
+            and (max_latency_ms is None or c.latency_ms <= max_latency_ms)
+            and (max_memory_kb is None or c.memory_kb <= max_memory_kb)
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda c: c.accuracy)
+
+
+def search(
+    dataset: Dataset,
+    count: int = 12,
+    epochs: int = 30,
+    lr: float = 0.006,
+    seed: int = 0,
+    board: BoardProfile = STM32F072RB,
+) -> SearchOutcome:
+    """Run the full automated exploration."""
+    configs = sample_configs(
+        dataset.num_features, dataset.num_classes, count=count, seed=seed
+    )
+    results = [
+        evaluate_candidate(config, dataset, epochs, lr, board)
+        for config in configs
+    ]
+    return SearchOutcome(
+        all_results=tuple(results),
+        frontier=tuple(pareto_frontier(results)),
+    )

@@ -1,0 +1,70 @@
+"""``mnist_like``: 28×28 grayscale digits (the paper's MNIST stand-in).
+
+Calibrated so the accuracy ladder of Figure 6 can be reproduced: small
+models (a few thousand effective parameters) land around 97 %, medium
+around 98 %, and large models exceed 99 %, with errors concentrated on
+ambiguous renderings (strong warp + noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, interleave_classes, register_dataset
+from repro.datasets.strokes import render_digit
+
+IMAGE_SIZE = 28
+NUM_CLASSES = 10
+DEFAULT_TRAIN = 6000
+DEFAULT_TEST = 1000
+
+
+#: Generator calibration (see EXPERIMENTS.md): a thin pen, broad geometric
+#: jitter, per-digit style variants, stroke dropout, and stray distractor
+#: strokes make accuracy *capacity-sensitive* — an 8-hidden dense model
+#: lands near 92 %, and each capacity doubling buys roughly a point, with
+#: the top of the curve requiring models beyond the 128 KB deployability
+#: frontier.  That reproduces the accuracy-ladder structure of the paper's
+#: Figure 6 (the absolute percentages sit a couple of points below the
+#: real-MNIST numbers; the ladder and frontier are what the figure tests).
+_PEN_SIGMA = 0.62 / IMAGE_SIZE
+_JITTER_RANGE = (0.9, 1.6)
+_NOISE_SIGMA = 0.07
+_STROKE_DROPOUT = 0.35
+_DISTRACTOR_PROB = 0.35
+
+
+def _generate(count: int, rng: np.random.Generator):
+    images, labels = [], []
+    for i in range(count):
+        digit = i % NUM_CLASSES
+        image = render_digit(
+            digit, IMAGE_SIZE, rng, pen_sigma=_PEN_SIGMA,
+            jitter=rng.uniform(*_JITTER_RANGE),
+            stroke_dropout=_STROKE_DROPOUT,
+            distractor_prob=_DISTRACTOR_PROB,
+        )
+        noise = rng.normal(0.0, _NOISE_SIGMA, image.shape).astype(np.float32)
+        images.append(np.clip(image + noise, 0.0, 1.0))
+        labels.append(digit)
+    return interleave_classes(images, labels)
+
+
+@register_dataset("mnist_like")
+def make_mnist_like(
+    n_train: int | None = None, n_test: int | None = None, seed: int = 0
+) -> Dataset:
+    n_train = n_train if n_train is not None else DEFAULT_TRAIN
+    n_test = n_test if n_test is not None else DEFAULT_TEST
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x28]))
+    x_train, y_train = _generate(n_train, rng)
+    x_test, y_test = _generate(n_test, rng)
+    return Dataset(
+        name="mnist_like",
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        num_classes=NUM_CLASSES,
+        image_shape=(IMAGE_SIZE, IMAGE_SIZE),
+    )

@@ -1,0 +1,50 @@
+"""Deployment: flash sizing, simulated flashing, and C code export."""
+
+from repro.deploy.artifact import (
+    DeployedModel,
+    InferenceResult,
+    analytic_model_cycles,
+    analytic_model_latency_ms,
+)
+from repro.deploy.cgen import generate_c_source
+from repro.deploy.deployer import Deployment, deploy
+from repro.deploy.firmware import (
+    FirmwareImage,
+    FirmwareInfo,
+    pack_firmware_image,
+    verify_firmware_image,
+)
+from repro.deploy.serialization import (
+    load_quantized_model,
+    save_quantized_model,
+)
+from repro.deploy.size import (
+    STARTUP_TEXT_BYTES,
+    ProgramMemoryReport,
+    layer_program_memory,
+    mlp_rodata_estimate,
+    model_program_memory,
+    scratch_memory,
+)
+
+__all__ = [
+    "DeployedModel",
+    "Deployment",
+    "FirmwareImage",
+    "FirmwareInfo",
+    "InferenceResult",
+    "ProgramMemoryReport",
+    "STARTUP_TEXT_BYTES",
+    "analytic_model_cycles",
+    "analytic_model_latency_ms",
+    "deploy",
+    "generate_c_source",
+    "load_quantized_model",
+    "pack_firmware_image",
+    "save_quantized_model",
+    "verify_firmware_image",
+    "layer_program_memory",
+    "mlp_rodata_estimate",
+    "model_program_memory",
+    "scratch_memory",
+]

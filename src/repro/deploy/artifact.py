@@ -1,0 +1,188 @@
+"""Deployed model artifact: chained kernels in one board memory map.
+
+:class:`DeployedModel` is the simulator-side equivalent of flashing the
+exported network onto the STM32F072RB: every layer's kernel program and
+constant arrays are placed into the board's flash, activations ping-pong
+between two RAM buffers, and inference runs layer programs in sequence on
+the cycle-counting CPU.
+
+Latency is available two ways — measured (interpreter) and analytical
+(operation counts) — and the two always agree; tests enforce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.kernels.codegen_common import KernelImage
+from repro.kernels.codegen_dense import count_dense, generate_dense
+from repro.kernels.codegen_sparse import count_sparse, generate_sparse
+from repro.kernels.opcount import OpCount
+from repro.mcu.board import BoardProfile, STM32F072RB
+from repro.mcu.cpu import CPU
+from repro.mcu.memory import Allocator, MemoryMap
+from repro.mcu.profiler import Tim2
+from repro.quantize.ptq import QuantizedModel
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One on-device inference: prediction plus its cost."""
+
+    logits: np.ndarray
+    label: int
+    cycles: int
+    latency_ms: float
+
+
+class DeployedModel:
+    """A quantized model flashed onto a simulated board."""
+
+    def __init__(
+        self,
+        quantized: QuantizedModel,
+        format_name: str = "block",
+        board: BoardProfile = STM32F072RB,
+        block_size: int = 256,
+    ) -> None:
+        self.quantized = quantized
+        self.format_name = format_name
+        self.board = board
+        self.block_size = block_size
+        self.memory = board.make_memory()
+
+        specs = quantized.specs
+        if not specs:
+            raise ConfigurationError("quantized model has no layers")
+
+        # Two ping-pong activation buffers sized for the widest layer.
+        ram = Allocator(self.memory, "ram")
+        buf_bytes = max(
+            max(s.n_in * s.act_in_width, s.n_out * s.act_out_width)
+            for s in specs
+        )
+        try:
+            buffer_a = ram.reserve(buf_bytes, align=4)
+            buffer_b = ram.reserve(buf_bytes, align=4)
+            self.images: list[KernelImage] = []
+            for i, spec in enumerate(specs):
+                src = buffer_a if i % 2 == 0 else buffer_b
+                dst = buffer_b if i % 2 == 0 else buffer_a
+                if spec.is_dense:
+                    image = generate_dense(
+                        spec, memory=self.memory,
+                        input_addr=src, output_addr=dst,
+                    )
+                else:
+                    kwargs = (
+                        {"block_size": block_size}
+                        if format_name == "block" else {}
+                    )
+                    image = generate_sparse(
+                        spec, format_name, memory=self.memory,
+                        input_addr=src, output_addr=dst, **kwargs
+                    )
+                self.images.append(image)
+        except Exception as exc:  # allocator exhaustion -> budget error
+            raise BudgetExceededError(
+                f"model does not fit {board.name}: {exc}"
+            ) from exc
+
+        self._cpu = CPU(self.memory, costs=board.costs)
+        self.timer = Tim2(board.clock_hz)
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, x: np.ndarray) -> InferenceResult:
+        """Run one float input through the deployed integer model."""
+        x_int = self.quantized.quantize_input(np.asarray(x).reshape(-1))
+        self.images[0].write_input(x_int)
+        self.timer.start()
+        total_cycles = 0
+        for image in self.images:
+            result = self._cpu.run(image.program)
+            total_cycles += result.cycles
+            self.timer.advance(result.cycles)
+        logits = self.images[-1].read_output()
+        return InferenceResult(
+            logits=logits,
+            label=int(np.argmax(logits)),
+            cycles=total_cycles,
+            latency_ms=self.timer.elapsed_ms(),
+        )
+
+    def predict(self, x_batch: np.ndarray) -> np.ndarray:
+        """Labels for a batch (each sample runs the full on-device path)."""
+        return np.array(
+            [self.infer(row).label for row in np.asarray(x_batch)]
+        )
+
+    def accuracy(self, x_batch: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x_batch) == np.asarray(y)).mean())
+
+    # -- cost reporting -------------------------------------------------------
+
+    def analytic_opcount(self) -> OpCount:
+        """Operation counts summed over layers (no execution needed)."""
+        total = OpCount.block()
+        for spec in self.quantized.specs:
+            if spec.is_dense:
+                total += count_dense(spec)
+            else:
+                kwargs = (
+                    {"block_size": self.block_size}
+                    if self.format_name == "block" else {}
+                )
+                total += count_sparse(spec, self.format_name, **kwargs)
+        return total
+
+    def analytic_latency_ms(self) -> float:
+        return self.board.cycles_to_ms(
+            self.analytic_opcount().cycles(self.board.costs)
+        )
+
+    @property
+    def flash_data_bytes(self) -> int:
+        return sum(image.flash_data_bytes for image in self.images)
+
+    @property
+    def text_bytes(self) -> int:
+        return sum(
+            image.program.code_size_bytes() for image in self.images
+        )
+
+
+def analytic_model_cycles(
+    quantized: QuantizedModel,
+    format_name: str = "block",
+    board: BoardProfile = STM32F072RB,
+    block_size: int = 256,
+) -> int:
+    """Model latency in cycles without building a deployment image.
+
+    The fast path for parameter sweeps: prices each layer's operation
+    counts directly.
+    """
+    total = OpCount.block()
+    for spec in quantized.specs:
+        if spec.is_dense:
+            total += count_dense(spec)
+        else:
+            kwargs = {"block_size": block_size} if format_name == "block" \
+                else {}
+            total += count_sparse(spec, format_name, **kwargs)
+    return total.cycles(board.costs)
+
+
+def analytic_model_latency_ms(
+    quantized: QuantizedModel,
+    format_name: str = "block",
+    board: BoardProfile = STM32F072RB,
+    block_size: int = 256,
+) -> float:
+    return board.cycles_to_ms(
+        analytic_model_cycles(quantized, format_name, board, block_size)
+    )

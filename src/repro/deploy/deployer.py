@@ -1,0 +1,66 @@
+"""High-level deployment: quantized model → flashed artifact + reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deploy.artifact import DeployedModel, analytic_model_latency_ms
+from repro.deploy.size import ProgramMemoryReport, model_program_memory
+from repro.errors import BudgetExceededError
+from repro.mcu.board import BoardProfile, STM32F072RB
+from repro.quantize.ptq import QuantizedModel
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A deployable (or sized-but-rejected) model with its cost reports."""
+
+    model: DeployedModel | None       # None when the model does not fit
+    program_memory: ProgramMemoryReport
+    latency_ms: float
+    board: BoardProfile
+    format_name: str
+
+    @property
+    def deployable(self) -> bool:
+        return self.model is not None
+
+
+def deploy(
+    quantized: QuantizedModel,
+    format_name: str = "block",
+    board: BoardProfile = STM32F072RB,
+    block_size: int = 256,
+    require_fit: bool = False,
+) -> Deployment:
+    """Size, check, and (when it fits) flash a quantized model.
+
+    Program memory is always computed (against scratch memory, so
+    oversized models can be sized — Figure 6a's non-deployable points).
+    The executable artifact is built only when the model fits the board;
+    with ``require_fit`` a non-fitting model raises instead.
+    """
+    memory_report = model_program_memory(
+        quantized.specs, format_name=format_name, block_size=block_size
+    )
+    latency = analytic_model_latency_ms(
+        quantized, format_name, board, block_size
+    )
+    model: DeployedModel | None = None
+    if memory_report.fits(board):
+        model = DeployedModel(
+            quantized, format_name=format_name, board=board,
+            block_size=block_size,
+        )
+    elif require_fit:
+        raise BudgetExceededError(
+            f"model needs {memory_report.total_kb:.1f} KB of program "
+            f"memory but {board.name} has {board.flash_kb} KB"
+        )
+    return Deployment(
+        model=model,
+        program_memory=memory_report,
+        latency_ms=latency,
+        board=board,
+        format_name=format_name,
+    )

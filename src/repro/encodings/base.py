@@ -1,0 +1,179 @@
+"""Shared machinery for the four sparse-connectivity encodings of §4.2.
+
+A Neuro-C layer's connectivity is a ternary adjacency matrix
+``A ∈ {-1, 0, +1}^(n_in × n_out)`` (rows = input neurons, columns = output
+neurons).  Every encoding stores, for each output neuron, the indices of its
+non-zero input connections, *split into two disjoint index sets by polarity*
+(+1 and -1) so the runtime kernel needs no per-connection sign decode: it
+first accumulates all positive contributions, then all negative ones.
+
+Storage width selection is central to the paper's Figure 5b: an array is
+stored with 8-bit elements iff every value it contains fits in 8 bits,
+otherwise the whole array falls back to 16 bits.  Per-element variable-width
+tricks are deliberately excluded — they would reintroduce the decode
+branches the design exists to avoid (§4.1 "Key insight").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+TERNARY_VALUES = (-1, 0, 1)
+
+
+def validate_ternary(matrix: np.ndarray) -> np.ndarray:
+    """Check that ``matrix`` is 2-D ternary; return it as ``int8``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise EncodingError(
+            f"adjacency matrix must be 2-D, got shape {matrix.shape}"
+        )
+    if matrix.size == 0:
+        raise EncodingError("adjacency matrix must be non-empty")
+    if not np.isin(matrix, TERNARY_VALUES).all():
+        bad = np.unique(matrix[~np.isin(matrix, TERNARY_VALUES)])
+        raise EncodingError(f"matrix contains non-ternary values {bad!r}")
+    return matrix.astype(np.int8)
+
+
+@dataclass(frozen=True)
+class PolaritySplit:
+    """Per-output-column sorted input indices, split by connection sign."""
+
+    n_in: int
+    n_out: int
+    pos: tuple[np.ndarray, ...]  # pos[j]: indices i with A[i, j] == +1
+    neg: tuple[np.ndarray, ...]  # neg[j]: indices i with A[i, j] == -1
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "PolaritySplit":
+        matrix = validate_ternary(matrix)
+        n_in, n_out = matrix.shape
+        pos = tuple(
+            np.flatnonzero(matrix[:, j] == 1).astype(np.int64)
+            for j in range(n_out)
+        )
+        neg = tuple(
+            np.flatnonzero(matrix[:, j] == -1).astype(np.int64)
+            for j in range(n_out)
+        )
+        return cls(n_in=n_in, n_out=n_out, pos=pos, neg=neg)
+
+    def to_matrix(self) -> np.ndarray:
+        matrix = np.zeros((self.n_in, self.n_out), dtype=np.int8)
+        for j in range(self.n_out):
+            matrix[self.pos[j], j] = 1
+            matrix[self.neg[j], j] = -1
+        return matrix
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(c) for c in self.pos) + sum(len(c) for c in self.neg)
+
+
+def width_bytes_for(max_value: int) -> int:
+    """Smallest of the kernel-supported element widths (1 or 2 bytes).
+
+    Width is a whole-array property: one oversized value promotes the entire
+    array, because the traversal loop uses a fixed load width.
+    """
+    if max_value < 0:
+        raise EncodingError(f"width query for negative value {max_value}")
+    if max_value <= 0xFF:
+        return 1
+    if max_value <= 0xFFFF:
+        return 2
+    raise EncodingError(
+        f"value {max_value} exceeds 16-bit storage; "
+        "no Neuro-C layer should need 32-bit indices"
+    )
+
+
+def array_with_width(values, width: int) -> np.ndarray:
+    """Pack ``values`` into an unsigned array of ``width`` bytes/element."""
+    dtype = {1: np.uint8, 2: np.uint16}[width]
+    array = np.asarray(list(values), dtype=np.int64)
+    if array.size and int(array.max(initial=0)) >= (1 << (8 * width)):
+        raise EncodingError(
+            f"value {int(array.max())} does not fit a {width}-byte element"
+        )
+    if array.size and int(array.min(initial=0)) < 0:
+        raise EncodingError("encoded index arrays must be non-negative")
+    return array.astype(dtype)
+
+
+class SparseEncoding(ABC):
+    """Interface all four formats implement.
+
+    Concrete encodings are immutable containers of numpy arrays, plus the
+    metadata the kernel generator needs (widths, block size, ...).
+    """
+
+    #: Registry key and kernel-selector name, e.g. ``"csc"``.
+    format_name: str = ""
+
+    @classmethod
+    @abstractmethod
+    def from_matrix(cls, matrix: np.ndarray, **options) -> "SparseEncoding":
+        """Encode a ternary adjacency matrix."""
+
+    @abstractmethod
+    def to_matrix(self) -> np.ndarray:
+        """Decode back to the original ternary matrix (lossless)."""
+
+    @abstractmethod
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All storage arrays, keyed by a stable name, in placement order."""
+
+    def size_bytes(self) -> int:
+        """Total connectivity storage (what §4.2 charges to flash)."""
+        return sum(a.nbytes for a in self.arrays().values())
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes per storage array (for Figure 5b analysis)."""
+        return {name: a.nbytes for name, a in self.arrays().items()}
+
+    @property
+    @abstractmethod
+    def n_in(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def n_out(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int: ...
+
+
+_REGISTRY: dict[str, type[SparseEncoding]] = {}
+
+
+def register_encoding(cls: type[SparseEncoding]) -> type[SparseEncoding]:
+    """Class decorator adding an encoding to the format registry."""
+    if not cls.format_name:
+        raise EncodingError(f"{cls.__name__} lacks a format_name")
+    if cls.format_name in _REGISTRY:
+        raise EncodingError(f"duplicate encoding {cls.format_name!r}")
+    _REGISTRY[cls.format_name] = cls
+    return cls
+
+
+def get_encoding(name: str) -> type[SparseEncoding]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise EncodingError(
+            f"unknown encoding {name!r}; known: {known}"
+        ) from None
+
+
+def encoding_names() -> tuple[str, ...]:
+    """All registered format names, in registration (paper) order."""
+    return tuple(_REGISTRY)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Neuro-C reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown label, bad operand, ...)."""
+
+
+class ExecutionError(ReproError):
+    """The MCU simulator hit an illegal state (bad access, runaway loop)."""
+
+
+class MemoryMapError(ReproError):
+    """An access fell outside the mapped regions or violated permissions."""
+
+
+class BudgetExceededError(ReproError):
+    """A resource budget (flash, RAM) was exceeded during deployment."""
+
+
+class EncodingError(ReproError):
+    """A ternary matrix could not be represented in the requested format."""
+
+
+class QuantizationError(ReproError):
+    """Post-training quantization failed (degenerate range, bad bit-width)."""
+
+
+class TrainingError(ReproError):
+    """Model training failed (diverged, invalid configuration)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid combination of options was requested."""

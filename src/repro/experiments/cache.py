@@ -1,0 +1,63 @@
+"""Result caching for training-heavy experiments.
+
+Two layers:
+
+- an in-process memo (figures sharing trained models within one pytest
+  session never retrain),
+- an optional JSON disk cache under ``.repro_cache/`` (or
+  ``$REPRO_CACHE_DIR``) so repeated benchmark invocations skip the
+  multi-minute training sweeps.  Only plain metric dictionaries are
+  persisted — never model weights — and deleting the directory is always
+  safe (results are recomputed).
+
+Keys embed an experiment schema version; bump the version constant in the
+experiment module when its protocol changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+_MEMO: dict[str, Any] = {}
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_json(key: str, compute: Callable[[], Any]) -> Any:
+    """Memoized + disk-cached JSON-serializable computation."""
+    if key in _MEMO:
+        return _MEMO[key]
+    path = cache_dir() / f"{key}.json"
+    if path.exists():
+        try:
+            value = json.loads(path.read_text())
+            _MEMO[key] = value
+            return value
+        except (json.JSONDecodeError, OSError):
+            path.unlink(missing_ok=True)  # corrupt entry: recompute
+    value = compute()
+    json.dumps(value)  # fail fast on non-serializable results
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(value, indent=1))
+    tmp.replace(path)
+    _MEMO[key] = value
+    return value
+
+
+def memoized(key: str, compute: Callable[[], Any]) -> Any:
+    """In-process-only memo (for objects that must not hit disk)."""
+    if key not in _MEMO:
+        _MEMO[key] = compute()
+    return _MEMO[key]
+
+
+def clear_memory_cache() -> None:
+    _MEMO.clear()

@@ -1,0 +1,135 @@
+"""Figure 7: best deployable MLP vs Neuro-C on all three datasets.
+
+Protocol (§5.2): for each dataset, the best-performing *deployable* model
+of each family — for MLPs, the best random-search configuration that still
+fits the 128 KB flash (the winning configurations are pinned below; the
+search protocol itself lives in :mod:`repro.core.search` and is exercised
+live for Figure 6a); for Neuro-C, the zoo's best configuration.
+
+Claims reproduced: Neuro-C matches or beats the deployable MLP's accuracy
+on every dataset while cutting latency by multiple × and program memory
+to roughly a quarter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mlp import MLPConfig, train_mlp
+from repro.core.neuroc import train_neuroc
+from repro.core.zoo import BEST_DEPLOYABLE, zoo_entry
+from repro.datasets import EVALUATION_DATASETS, load
+from repro.deploy.artifact import analytic_model_latency_ms
+from repro.deploy.size import model_program_memory
+from repro.experiments.cache import cached_json
+from repro.experiments.tables import format_table
+from repro.mcu.board import STM32F072RB
+
+SCHEMA = "fig7-v1"
+
+#: Pinned winners of the per-dataset MLP searches: the largest/most
+#: accurate configurations whose int8 deployment still fits 128 KB
+#: (784·128 ≈ 100 K weights; 3072·28 ≈ 86 K weights).
+BEST_MLP_CONFIGS: dict[str, MLPConfig] = {
+    "mnist_like": MLPConfig(784, 10, (128,), dropout=0.1, seed=3,
+                            name="mlp-mnist-best"),
+    "fashion_like": MLPConfig(784, 10, (128,), dropout=0.1, seed=3,
+                              name="mlp-fashion-best"),
+    "cifar5_like": MLPConfig(3072, 5, (28,), dropout=0.1, seed=3,
+                             name="mlp-cifar5-best"),
+}
+
+MLP_EPOCHS = 30
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    dataset: str
+    family: str              # "mlp" | "neuroc"
+    accuracy: float
+    latency_ms: float
+    memory_kb: float
+    deployable: bool
+
+
+def run_fig7() -> list[Fig7Row]:
+    """Train (or load) both families on the three datasets."""
+
+    def compute() -> list[dict]:
+        rows: list[dict] = []
+        for name in EVALUATION_DATASETS:
+            dataset = load(name)
+
+            mlp = train_mlp(BEST_MLP_CONFIGS[name], dataset,
+                            epochs=MLP_EPOCHS)
+            mlp_memory = model_program_memory(mlp.quantized.specs)
+            rows.append(
+                {
+                    "dataset": name, "family": "mlp",
+                    "accuracy": mlp.quantized_accuracy,
+                    "latency_ms": analytic_model_latency_ms(mlp.quantized),
+                    "memory_kb": mlp_memory.total_kb,
+                    "deployable": mlp_memory.fits(STM32F072RB),
+                }
+            )
+
+            entry = zoo_entry(BEST_DEPLOYABLE[name])
+            neuroc = train_neuroc(entry.config, dataset,
+                                  epochs=entry.epochs, lr=entry.lr)
+            nc_memory = model_program_memory(
+                neuroc.quantized.specs, format_name="block"
+            )
+            rows.append(
+                {
+                    "dataset": name, "family": "neuroc",
+                    "accuracy": neuroc.quantized_accuracy,
+                    "latency_ms": analytic_model_latency_ms(
+                        neuroc.quantized, "block"
+                    ),
+                    "memory_kb": nc_memory.total_kb,
+                    "deployable": nc_memory.fits(STM32F072RB),
+                }
+            )
+        return rows
+
+    raw = cached_json(f"{SCHEMA}-best-deployable", compute)
+    return [Fig7Row(**r) for r in raw]
+
+
+def pairs_by_dataset(rows: list[Fig7Row]) -> dict[str, dict[str, Fig7Row]]:
+    out: dict[str, dict[str, Fig7Row]] = {}
+    for row in rows:
+        out.setdefault(row.dataset, {})[row.family] = row
+    return out
+
+
+def neuroc_wins_everywhere(rows: list[Fig7Row]) -> bool:
+    """Accuracy at least comparable, latency and memory strictly better.
+
+    "Comparable" allows a 0.5 pp accuracy tolerance: the paper's own
+    Fig. 7a margins are fractions of a point, and seed noise on our
+    procedural datasets is of that order (see EXPERIMENTS.md).
+    """
+    for pair in pairs_by_dataset(rows).values():
+        neuroc, mlp = pair["neuroc"], pair["mlp"]
+        if neuroc.accuracy < mlp.accuracy - 0.005:
+            return False
+        if neuroc.latency_ms >= mlp.latency_ms:
+            return False
+        if neuroc.memory_kb >= mlp.memory_kb:
+            return False
+    return True
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    table = [
+        (r.dataset, r.family, f"{r.accuracy:.4f}", f"{r.latency_ms:.1f}",
+         f"{r.memory_kb:.1f}", r.deployable)
+        for r in rows
+    ]
+    return format_table(
+        ("dataset", "family", "accuracy", "latency ms", "flash KB",
+         "deployable"),
+        table,
+        title="Figure 7: best deployable MLP vs Neuro-C per dataset",
+    )

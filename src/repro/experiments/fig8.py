@@ -1,0 +1,175 @@
+"""Figure 8: Neuro-C vs the TNN ablation (per-neuron scale removed).
+
+Protocol (§5.2): take the best-performing Neuro-C configuration per
+dataset, delete ``w_j`` (yielding a standard TNN), keep everything else
+identical, and compare:
+
+- 8a: accuracy — the TNN drops several points on the two easier datasets
+  and fails to converge on CIFAR5,
+- 8b: inference-latency increase from ``w_j`` — under 1 ms (the per-neuron
+  multiplier costs one 16-bit load + pointer bump per neuron),
+- 8c: program-memory increase from ``w_j`` — a few hundred bytes (the
+  int16 multiplier array).
+
+Latency/memory deltas are computed on the *same* Neuro-C architecture
+with and without per-neuron multipliers, so differences isolate ``w_j``
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.neuroc import train_neuroc
+from repro.core.tnn import train_tnn
+from repro.core.zoo import BEST_DEPLOYABLE, zoo_entry
+from repro.datasets import EVALUATION_DATASETS, load
+from repro.deploy.artifact import analytic_model_latency_ms
+from repro.deploy.size import model_program_memory
+from repro.experiments.cache import cached_json
+from repro.experiments.tables import format_table
+from repro.kernels.spec import LayerKernelSpec
+from repro.nn.trainer import CONVERGENCE_MARGIN
+from repro.quantize.ptq import QuantizedModel
+
+SCHEMA = "fig8-v1"
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    dataset: str
+    neuroc_accuracy: float
+    tnn_accuracy: float
+    tnn_converged: bool
+    chance: float
+    latency_increase_ms: float
+    memory_increase_bytes: int
+
+    @property
+    def accuracy_drop_pp(self) -> float:
+        return (self.neuroc_accuracy - self.tnn_accuracy) * 100.0
+
+
+def _strip_per_neuron_mult(quantized: QuantizedModel) -> QuantizedModel:
+    """The same architecture with per-layer (TNN-style) multipliers.
+
+    Replaces each per-neuron multiplier vector with its scalar median, so
+    the latency/memory comparison isolates exactly the cost of storing and
+    loading ``w_j`` (accuracy is *not* evaluated on this variant — the
+    trained TNN covers that).
+    """
+    specs = []
+    for spec in quantized.specs:
+        mult = spec.mult
+        if isinstance(mult, np.ndarray):
+            mult = int(np.median(mult))
+            if mult == 0:
+                mult = 1
+        specs.append(
+            LayerKernelSpec(
+                n_in=spec.n_in, n_out=spec.n_out,
+                act_in_width=spec.act_in_width,
+                act_out_width=spec.act_out_width,
+                bias=spec.bias, relu=spec.relu,
+                mult=mult, shift=spec.shift,
+                weights=spec.weights, adjacency=spec.adjacency,
+            )
+        )
+    return QuantizedModel(
+        specs=specs, input_scale=quantized.input_scale,
+        act_width=quantized.act_width,
+    )
+
+
+def run_fig8() -> list[Fig8Row]:
+    def compute() -> list[dict]:
+        rows = []
+        for name in EVALUATION_DATASETS:
+            dataset = load(name)
+            entry = zoo_entry(BEST_DEPLOYABLE[name])
+            neuroc = train_neuroc(entry.config, dataset,
+                                  epochs=entry.epochs, lr=entry.lr)
+            tnn = train_tnn(entry.config, dataset, epochs=entry.epochs,
+                            lr=entry.lr)
+
+            with_scale = neuroc.quantized
+            without_scale = _strip_per_neuron_mult(with_scale)
+            latency_with = analytic_model_latency_ms(with_scale, "block")
+            latency_without = analytic_model_latency_ms(
+                without_scale, "block"
+            )
+            memory_with = model_program_memory(
+                with_scale.specs, format_name="block"
+            )
+            memory_without = model_program_memory(
+                without_scale.specs, format_name="block"
+            )
+            rows.append(
+                {
+                    "dataset": name,
+                    "neuroc_accuracy": neuroc.quantized_accuracy,
+                    "tnn_accuracy": tnn.quantized_accuracy,
+                    # Convergence judged on the deployed model's accuracy:
+                    # the paper's "fails to converge entirely" is about the
+                    # usable end state, not a transient training spike.
+                    "tnn_converged": (
+                        tnn.quantized_accuracy
+                        >= tnn.history.chance + CONVERGENCE_MARGIN
+                    ),
+                    "chance": tnn.history.chance,
+                    "latency_increase_ms": latency_with - latency_without,
+                    "memory_increase_bytes": (
+                        memory_with.total_bytes - memory_without.total_bytes
+                    ),
+                }
+            )
+        return rows
+
+    raw = cached_json(f"{SCHEMA}-ablation", compute)
+    return [Fig8Row(**r) for r in raw]
+
+
+def scale_is_cheap(rows: list[Fig8Row]) -> bool:
+    """8b/8c claim: storing and applying ``w_j`` is negligible.
+
+    The paper reports <1 ms on 40-50 ms baselines and <500 B on ~20 KB
+    models (≈2.5 %).  Our models differ in size, so the memory bound is
+    2 KB — the ``w_j`` array is two bytes per neuron and our largest zoo
+    model has ~600 neurons.
+    """
+    return all(
+        r.latency_increase_ms < 1.0 and r.memory_increase_bytes < 2048
+        for r in rows
+    )
+
+
+def scale_is_necessary(rows: list[Fig8Row]) -> bool:
+    """8a claim: accuracy drops on every dataset and at least one dataset
+    fails to converge without ``w_j``."""
+    drops = all(r.tnn_accuracy < r.neuroc_accuracy for r in rows)
+    any_divergence = any(not r.tnn_converged for r in rows)
+    return drops and any_divergence
+
+
+def format_fig8(rows: list[Fig8Row]) -> str:
+    table = [
+        (
+            r.dataset,
+            f"{r.neuroc_accuracy:.4f}",
+            f"{r.tnn_accuracy:.4f}",
+            "yes" if r.tnn_converged else
+            f"NO (chance={r.chance:.2f}+{CONVERGENCE_MARGIN})",
+            f"{r.accuracy_drop_pp:.2f}",
+            f"{r.latency_increase_ms:.3f}",
+            r.memory_increase_bytes,
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("dataset", "neuroc acc", "tnn acc", "tnn converged", "drop pp",
+         "w_j latency +ms", "w_j memory +B"),
+        table,
+        title="Figure 8: per-neuron scaling ablation (Neuro-C vs TNN)",
+    )

@@ -1,0 +1,229 @@
+"""Paper-vs-measured report generator.
+
+Renders every reproduced table and figure, with the paper's reference
+values alongside the measured ones, as the markdown body of
+EXPERIMENTS.md.  Training-backed figures read the ``.repro_cache/``
+results (they train on first use).
+
+Usage::
+
+    python -m repro.experiments.report > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+from repro.core.zoo import PAPER_REFERENCE
+from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8
+from repro.mcu.board import format_mcu_class_table
+
+
+def _verdict(ok: bool) -> str:
+    return "reproduced" if ok else "NOT reproduced"
+
+
+def _fmt(value: float | None, digits: int = 2) -> str:
+    return "—" if value is None else f"{value:.{digits}f}"
+
+
+def table1_section() -> str:
+    return "\n".join(
+        [
+            "## Table 1 — MCU resource classes",
+            "",
+            "Static data, carried verbatim from the paper:",
+            "",
+            "```",
+            format_mcu_class_table(),
+            "```",
+            "",
+        ]
+    )
+
+
+def fig1_section() -> str:
+    points = fig1.run_fig1()
+    frontier = fig1.frontier_by_strategy(points)
+    ok = fig1.quantization_wins(points)
+    lines = [
+        "## Figure 1 — adjacency strategies (digits)",
+        "",
+        "Paper claim: quantization-aware connectivity achieves the highest",
+        "accuracy for a given parameter count.  "
+        f"**{_verdict(ok)}** — best accuracy per parameter budget:",
+        "",
+        "| strategy | ≤600 params | ≤1200 | ≤2400 |",
+        "|---|---|---|---|",
+    ]
+    for strategy in sorted(frontier):
+        row = frontier[strategy]
+        lines.append(
+            f"| {strategy} | "
+            + " | ".join(
+                _fmt(row.get(budget), 3) for budget in (600, 1200, 2400)
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fig2_section() -> str:
+    rows = fig2.run_fig2()
+    ok = fig2.fc_always_faster(rows)
+    lines = [
+        "## Figure 2 — FC vs CNN latency at equal MACCs",
+        "",
+        f"Paper claim: FC layers are faster at matched MACC counts.  "
+        f"**{_verdict(ok)}**",
+        "",
+        "| pair | layer | MACCs | latency ms |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.pair} | {row.kind.upper()} | {row.maccs} "
+            f"| {row.latency_ms:.2f} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fig5_section() -> str:
+    points = fig5.run_fig5()
+    at256 = fig5.by_format_at(points, 256)
+    paper_lat = PAPER_REFERENCE["fig5a_latency_ms_at_256"]
+    paper_mem = PAPER_REFERENCE["fig5b_flash_kb_at_256"]
+    lines = [
+        "## Figure 5 — sparse-encoding latency (5a) and flash (5b)",
+        "",
+        f"Latency ordering delta < mixed < block < csc: "
+        f"**{_verdict(fig5.latency_ordering_holds(points))}**; "
+        f"memory ordering (block smallest, csc largest): "
+        f"**{_verdict(fig5.memory_ordering_holds(points))}**.",
+        "",
+        "At N_out = 256 "
+        f"(input {fig5.INPUT_DIM}, density {fig5.DENSITY}):",
+        "",
+        "| format | measured ms | paper ms | measured KB | paper KB |",
+        "|---|---|---|---|---|",
+    ]
+    for fmt in ("delta", "mixed", "block", "csc"):
+        point = at256[fmt]
+        lines.append(
+            f"| {fmt} | {point.latency_ms:.1f} "
+            f"| {_fmt(paper_lat.get(fmt), 0)} "
+            f"| {point.flash_kb:.1f} "
+            f"| {_fmt(paper_mem.get(fmt), 1)} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fig6_section() -> str:
+    points = fig6.mlp_search_points()
+    comparisons = fig6.tier_comparisons()
+    deployable = sum(p.deployable for p in points)
+    lines = [
+        "## Figure 6 — MLP vs Neuro-C on the MNIST stand-in",
+        "",
+        f"6a: {len(points)} searched MLP configurations, {deployable} "
+        f"deployable / {len(points) - deployable} beyond the 128 KB "
+        "frontier.",
+        "6b: deployable-MLP latency vs parameters is linear "
+        "(r > 0.99 in the bench).",
+        "",
+        "6c/6d at matched accuracy "
+        "(paper: MLP 43/142/— ms and 30.9/88.3/>200 KB vs "
+        "Neuro-C 5/16/40 ms and 3.1/7.3/20.1 KB):",
+        "",
+        "| tier | nc acc | nc ms | nc KB | mlp acc | mlp ms | mlp KB "
+        "| latency cut | memory cut |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for c in comparisons:
+        lat = fig6.latency_reduction(c)
+        mem = fig6.memory_reduction(c)
+        lines.append(
+            f"| {c.tier} | {c.neuroc.accuracy:.4f} "
+            f"| {c.neuroc.latency_ms:.1f} | {c.neuroc.memory_kb:.1f} "
+            f"| {_fmt(c.mlp.accuracy if c.mlp else None, 4)} "
+            f"| {_fmt(c.mlp.latency_ms if c.mlp else None, 1)} "
+            f"| {_fmt(c.mlp.memory_kb if c.mlp else None, 1)} "
+            f"| {'—' if lat is None else f'{lat:.0%}'} "
+            f"| {'—' if mem is None else f'{mem:.0%}'} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fig7_section() -> str:
+    rows = fig7.run_fig7()
+    pairs = fig7.pairs_by_dataset(rows)
+    lines = [
+        "## Figure 7 — best deployable models per dataset",
+        "",
+        "| dataset | family | accuracy | latency ms (paper) "
+        "| flash KB (paper) |",
+        "|---|---|---|---|---|",
+    ]
+    for dataset, pair in pairs.items():
+        for family in ("mlp", "neuroc"):
+            row = pair[family]
+            paper_lat = PAPER_REFERENCE["fig7_latency_ms"][dataset][family]
+            paper_mem = PAPER_REFERENCE["fig7_memory_kb"][dataset][family]
+            lines.append(
+                f"| {dataset} | {family} | {row.accuracy:.4f} "
+                f"| {row.latency_ms:.1f} ({_fmt(paper_lat, 0)}) "
+                f"| {row.memory_kb:.1f} ({_fmt(paper_mem, 0)}) |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fig8_section() -> str:
+    rows = fig8.run_fig8()
+    paper_drop = PAPER_REFERENCE["fig8a_accuracy_drop_pp"]
+    paper_mem = PAPER_REFERENCE["fig8c_memory_increase_bytes"]
+    lines = [
+        "## Figure 8 — the per-neuron scaling ablation",
+        "",
+        f"w_j necessary: **{_verdict(fig8.scale_is_necessary(rows))}** "
+        f"(drops everywhere, no convergence on the hardest set); "
+        f"w_j cheap: **{_verdict(fig8.scale_is_cheap(rows))}**.",
+        "",
+        "| dataset | nc acc | tnn acc | converged | drop pp (paper) "
+        "| +ms (paper ≈0.5) | +B (paper) |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        paper = paper_drop[row.dataset]
+        lines.append(
+            f"| {row.dataset} | {row.neuroc_accuracy:.4f} "
+            f"| {row.tnn_accuracy:.4f} "
+            f"| {'yes' if row.tnn_converged else 'NO'} "
+            f"| {row.accuracy_drop_pp:.2f} "
+            f"({_fmt(paper, 2) if paper is not None else 'no conv.'}) "
+            f"| {row.latency_increase_ms:.3f} "
+            f"| {row.memory_increase_bytes} "
+            f"({_fmt(paper_mem[row.dataset], 0)}) |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report() -> str:
+    """The full paper-vs-measured report body."""
+    sections = [
+        table1_section(),
+        fig1_section(),
+        fig2_section(),
+        fig5_section(),
+        fig6_section(),
+        fig7_section(),
+        fig8_section(),
+    ]
+    return "\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(generate_report())

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print each figure's data series as an aligned table with a
+paper-vs-measured column where the paper reports a number, so a single
+``pytest benchmarks/ --benchmark-only`` run regenerates every table and
+figure of the evaluation in readable form (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def ratio_str(measured: float, paper: float | None) -> str:
+    """'measured (paper X, ratio Y)' annotation for comparison columns."""
+    if paper is None:
+        return f"{measured:.2f} (paper: n/a)"
+    if paper == 0:
+        return f"{measured:.2f} (paper 0)"
+    return f"{measured:.2f} (paper {paper:.2f}, x{measured / paper:.2f})"

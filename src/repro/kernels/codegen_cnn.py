@@ -1,0 +1,200 @@
+"""Convolution kernel (im2col + GEMM) for the Figure 2 comparison.
+
+§3.3 argues that on a Cortex-M0 a convolution must be lowered to a matrix
+multiplication through an explicit im2col buffer, and that the buffer
+construction plus the short GEMM inner loops make the conv layer slower
+than an FC layer doing the same number of MACCs.  This module generates
+exactly that lowered computation: phase 1 materializes the
+``(S², M²)`` im2col matrix in RAM, phase 2 runs the ``K × S² × M²`` GEMM.
+
+The FC side of the comparison is the dense kernel
+(:mod:`repro.kernels.codegen_dense`) with raw 32-bit outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.codegen_common import (
+    KernelImage,
+    RELU_CYCLES,
+    emit_relu,
+    flash_allocator,
+    ram_allocator,
+)
+from repro.kernels.opcount import OpCount, countdown_loop
+from repro.mcu.isa import Assembler, Reg
+from repro.mcu.memory import MemoryMap
+
+
+@dataclass(frozen=True)
+class ConvKernelSpec:
+    """One valid (no-padding) single-channel conv layer, per §3.3's setup."""
+
+    image_size: int               # N
+    kernel_size: int              # S
+    num_filters: int              # K
+    weights: np.ndarray           # int8, (K, S, S)
+    bias: np.ndarray              # int32, (K,)
+    relu: bool = True
+    act_in_width: int = 2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.kernel_size <= self.image_size:
+            raise ConfigurationError(
+                f"kernel {self.kernel_size} too large for image "
+                f"{self.image_size}"
+            )
+        if self.weights.shape != (
+            self.num_filters, self.kernel_size, self.kernel_size
+        ):
+            raise ConfigurationError(
+                f"weights shape {self.weights.shape} does not match spec"
+            )
+        if self.bias.shape != (self.num_filters,):
+            raise ConfigurationError("bias shape must be (K,)")
+        if self.act_in_width not in (1, 2):
+            raise ConfigurationError("act_in_width must be 1 or 2")
+
+    @property
+    def output_size(self) -> int:
+        """Eq. 3: M = N - S + 1."""
+        return self.image_size - self.kernel_size + 1
+
+    @property
+    def macc_count(self) -> int:
+        """Eq. 7 with C = 1."""
+        m = self.output_size
+        return self.num_filters * self.kernel_size**2 * m * m
+
+
+def generate_conv(
+    spec: ConvKernelSpec, memory: MemoryMap | None = None
+) -> KernelImage:
+    memory = memory or MemoryMap.stm32()
+    flash = flash_allocator(memory)
+    flash_start = flash.used_bytes
+    ram = ram_allocator(memory)
+
+    n, s, k = spec.image_size, spec.kernel_size, spec.num_filters
+    m = spec.output_size
+    aw = spec.act_in_width
+
+    w_addr = flash.place(
+        spec.weights.reshape(k, s * s).astype(np.int8)
+    )
+    bias_addr = flash.place(spec.bias.astype(np.int32))
+    flash_bytes = flash.used_bytes - flash_start
+
+    input_addr = ram.reserve(n * n * aw, align=aw)
+    col_addr = ram.reserve(s * s * m * m * 2, align=2)  # im2col, int16
+    output_addr = ram.reserve(k * m * m * 4, align=4)
+
+    asm = Assembler("conv_im2col")
+
+    # ---- Phase 1: build the (S², M²) im2col matrix ----------------------
+    asm.movi(Reg.R0, col_addr)     # write cursor
+    asm.movi(Reg.R1, input_addr)   # row-window start (r, 0)
+    asm.movi(Reg.R2, m)            # r counter
+    asm.label("row")
+    asm.mov(Reg.R4, Reg.R1)        # window base for (r, c=0)
+    asm.movi(Reg.R3, m)            # c counter
+    asm.label("colpos")
+    asm.mov(Reg.R6, Reg.R4)        # source cursor for field row i=0
+    asm.movi(Reg.R5, s)            # i counter
+    asm.label("firow")
+    asm.movi(Reg.R7, s)            # j counter
+    asm.label("fjcol")
+    if aw == 2:
+        asm.ldrsh(Reg.R9, Reg.R6, 0)
+    else:
+        asm.ldrsb(Reg.R9, Reg.R6, 0)
+    asm.addi(Reg.R6, Reg.R6, aw)
+    asm.strh(Reg.R9, Reg.R0, 0)
+    asm.addi(Reg.R0, Reg.R0, 2)
+    asm.subsi(Reg.R7, Reg.R7, 1)
+    asm.bgt("fjcol")
+    asm.addi(Reg.R6, Reg.R6, (n - s) * aw)  # next field row
+    asm.subsi(Reg.R5, Reg.R5, 1)
+    asm.bgt("firow")
+    asm.addi(Reg.R4, Reg.R4, aw)            # slide window right
+    asm.subsi(Reg.R3, Reg.R3, 1)
+    asm.bgt("colpos")
+    asm.addi(Reg.R1, Reg.R1, n * aw)        # slide window down
+    asm.subsi(Reg.R2, Reg.R2, 1)
+    asm.bgt("row")
+
+    # ---- Phase 2: K × (S² · M²) GEMM ------------------------------------
+    asm.movi(Reg.R0, w_addr)       # filter weight base
+    asm.movi(Reg.R5, output_addr)
+    asm.movi(Reg.R6, bias_addr)
+    asm.movi(Reg.R2, k)            # filter counter
+    asm.label("filter")
+    asm.movi(Reg.R1, col_addr)     # column cursor
+    asm.ldr(Reg.R7, Reg.R6, 0)     # filter bias
+    asm.addi(Reg.R6, Reg.R6, 4)
+    asm.movi(Reg.R8, m * m)        # output-position counter
+    asm.label("outpos")
+    asm.mov(Reg.R10, Reg.R0)       # weight cursor (restart per output)
+    asm.mov(Reg.R9, Reg.R7)        # acc = bias
+    asm.movi(Reg.R11, s * s)       # dot-product counter
+    asm.label("dot")
+    asm.ldrsb(Reg.R12, Reg.R10, 0)
+    asm.addi(Reg.R10, Reg.R10, 1)
+    asm.ldrsh(Reg.R3, Reg.R1, 0)
+    asm.addi(Reg.R1, Reg.R1, 2)
+    asm.mul(Reg.R12, Reg.R12, Reg.R3)
+    asm.add(Reg.R9, Reg.R9, Reg.R12)
+    asm.subsi(Reg.R11, Reg.R11, 1)
+    asm.bgt("dot")
+    if spec.relu:
+        emit_relu(asm, Reg.R9, Reg.R11, Reg.R12)
+    asm.str_(Reg.R9, Reg.R5, 0)
+    asm.addi(Reg.R5, Reg.R5, 4)
+    asm.subsi(Reg.R8, Reg.R8, 1)
+    asm.bgt("outpos")
+    asm.addi(Reg.R0, Reg.R0, s * s)          # next filter's weights
+    asm.subsi(Reg.R2, Reg.R2, 1)
+    asm.bgt("filter")
+    asm.halt()
+
+    return KernelImage(
+        program=asm.assemble(), memory=memory,
+        input_addr=input_addr, input_count=n * n, input_width=aw,
+        output_addr=output_addr, output_count=k * m * m, output_width=4,
+        flash_data_bytes=flash_bytes,
+    )
+
+
+def count_conv(spec: ConvKernelSpec) -> OpCount:
+    """Analytical operation counts of :func:`generate_conv` (exact)."""
+    n, s, k, m = (
+        spec.image_size, spec.kernel_size, spec.num_filters,
+        spec.output_size,
+    )
+    # Phase 1
+    copy_elem = OpCount.block(load=1, store=1, alu=2)
+    j_loop = countdown_loop(copy_elem, s)
+    i_iter = j_loop + OpCount.block(alu=2)           # movi r7, row advance
+    i_loop = countdown_loop(i_iter, s)
+    c_iter = i_loop + OpCount.block(alu=3)           # mov, movi, window slide
+    c_loop = countdown_loop(c_iter, m)
+    r_iter = c_loop + OpCount.block(alu=3)           # mov, movi, row slide
+    r_loop = countdown_loop(r_iter, m)
+    phase1 = OpCount.block(alu=3) + r_loop
+
+    # Phase 2
+    macc = OpCount.block(load=2, alu=3, mul=1)
+    dot = countdown_loop(macc, s * s)
+    out_iter = dot + OpCount.block(alu=3, store=1) + OpCount.block(alu=1)
+    if spec.relu:
+        out_iter += OpCount.block(alu=RELU_CYCLES)
+    out_loop = countdown_loop(out_iter, m * m)
+    filter_iter = out_loop + OpCount.block(alu=4, load=1)
+    filter_loop = countdown_loop(filter_iter, k)
+    phase2 = OpCount.block(alu=4) + filter_loop
+
+    return OpCount() + phase1 + phase2

@@ -1,0 +1,168 @@
+"""Unrolled dense kernel — §4.1's "sequence of shallow, possibly unrolled
+loops over contiguous memory segments".
+
+Unrolling trades program memory for latency: each unroll step removes one
+``SUBSI``/``BGT`` pair (4 cycles on a taken branch) per element at the
+cost of duplicated loop-body code.  The ablation benchmark sweeps the
+factor to quantify that trade-off on the Cortex-M0 model.
+
+A remainder loop handles ``n_in % unroll`` without any data-dependent
+control flow: both loop bounds are compile-time constants.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.codegen_common import (
+    KernelImage,
+    RELU_CYCLES,
+    SAT_CYCLES,
+    emit_relu,
+    emit_saturate_upper,
+    flash_allocator,
+    load_signed,
+    needs_saturation,
+    ram_allocator,
+    store,
+)
+from repro.kernels.opcount import OpCount, countdown_loop
+from repro.kernels.spec import LayerKernelSpec
+from repro.mcu.isa import Assembler, Reg
+from repro.mcu.memory import MemoryMap
+
+import numpy as np
+
+
+def generate_dense_unrolled(
+    spec: LayerKernelSpec,
+    unroll: int = 4,
+    memory: MemoryMap | None = None,
+    input_addr: int | None = None,
+    output_addr: int | None = None,
+) -> KernelImage:
+    """Dense kernel with the inner MACC loop unrolled ``unroll`` times."""
+    if not spec.is_dense:
+        raise ConfigurationError("unrolled kernel requires a dense spec")
+    if unroll < 1:
+        raise ConfigurationError(f"unroll factor must be >= 1: {unroll}")
+    memory = memory or MemoryMap.stm32()
+    flash = flash_allocator(memory)
+    flash_start = flash.used_bytes
+    ram = ram_allocator(memory)
+
+    w_addr = flash.place(np.ascontiguousarray(spec.weights.T))
+    bias_addr = flash.place(spec.bias.astype(np.int32))
+    mult_addr = None
+    if spec.per_neuron_mult:
+        mult_addr = flash.place(spec.mult.astype(np.int16))
+    flash_bytes = flash.used_bytes - flash_start
+
+    if input_addr is None:
+        input_addr = ram.reserve(spec.n_in * spec.act_in_width,
+                                 align=spec.act_in_width)
+    if output_addr is None:
+        output_addr = ram.reserve(spec.n_out * spec.act_out_width,
+                                  align=spec.act_out_width)
+
+    main_iters, remainder = divmod(spec.n_in, unroll)
+
+    asm = Assembler(f"dense_unrolled_x{unroll}")
+    asm.movi(Reg.R0, w_addr)
+    asm.movi(Reg.R4, input_addr)
+    asm.movi(Reg.R5, output_addr)
+    asm.movi(Reg.R6, bias_addr)
+    if spec.per_neuron_mult:
+        asm.movi(Reg.R7, mult_addr)
+    elif spec.mult is not None:
+        asm.movi(Reg.R7, int(spec.mult))
+    asm.movi(Reg.R8, spec.n_out)
+
+    def macc_step() -> None:
+        asm.ldrsb(Reg.R12, Reg.R0, 0)
+        asm.addi(Reg.R0, Reg.R0, 1)
+        load_signed(asm, Reg.R1, Reg.R10, 0, spec.act_in_width)
+        asm.addi(Reg.R10, Reg.R10, spec.act_in_width)
+        asm.mul(Reg.R12, Reg.R12, Reg.R1)
+        asm.add(Reg.R9, Reg.R9, Reg.R12)
+
+    asm.label("col")
+    asm.movi(Reg.R9, 0)
+    asm.mov(Reg.R10, Reg.R4)
+    if main_iters:
+        asm.movi(Reg.R11, main_iters)
+        asm.label("elem")
+        for _ in range(unroll):
+            macc_step()
+        asm.subsi(Reg.R11, Reg.R11, 1)
+        asm.bgt("elem")
+    for _ in range(remainder):
+        macc_step()
+
+    if spec.mult is not None:
+        if spec.per_neuron_mult:
+            asm.ldrsh(Reg.R11, Reg.R7, 0)
+            asm.addi(Reg.R7, Reg.R7, 2)
+            asm.mul(Reg.R9, Reg.R9, Reg.R11)
+        else:
+            asm.mul(Reg.R9, Reg.R9, Reg.R7)
+        if spec.shift:
+            asm.asri(Reg.R9, Reg.R9, spec.shift)
+    asm.ldr(Reg.R1, Reg.R6, 0)
+    asm.addi(Reg.R6, Reg.R6, 4)
+    asm.add(Reg.R9, Reg.R9, Reg.R1)
+    if spec.relu:
+        emit_relu(asm, Reg.R9, Reg.R11, Reg.R12)
+    if needs_saturation(spec.relu, spec.mult is not None,
+                        spec.act_out_width):
+        emit_saturate_upper(asm, Reg.R9, Reg.R11, Reg.R12,
+                            spec.act_out_range()[1])
+    store(asm, Reg.R9, Reg.R5, 0, spec.act_out_width)
+    asm.addi(Reg.R5, Reg.R5, spec.act_out_width)
+    asm.subsi(Reg.R8, Reg.R8, 1)
+    asm.bgt("col")
+    asm.halt()
+
+    return KernelImage(
+        program=asm.assemble(), memory=memory,
+        input_addr=input_addr, input_count=spec.n_in,
+        input_width=spec.act_in_width,
+        output_addr=output_addr, output_count=spec.n_out,
+        output_width=spec.act_out_width,
+        flash_data_bytes=flash_bytes,
+    )
+
+
+def count_dense_unrolled(spec: LayerKernelSpec, unroll: int = 4) -> OpCount:
+    """Exact operation counts of :func:`generate_dense_unrolled`."""
+    if unroll < 1:
+        raise ConfigurationError(f"unroll factor must be >= 1: {unroll}")
+    main_iters, remainder = divmod(spec.n_in, unroll)
+    setup = OpCount.block(alu=5 + (1 if spec.mult is not None else 0))
+
+    macc = OpCount.block(load=2, alu=3, mul=1)
+    inner = OpCount.block()
+    if main_iters:
+        inner = countdown_loop(macc.scaled(unroll), main_iters)
+    inner += macc.scaled(remainder)
+
+    epilogue = OpCount.block(load=1, alu=2)
+    if spec.relu:
+        epilogue += OpCount.block(alu=RELU_CYCLES)
+    if needs_saturation(spec.relu, spec.mult is not None,
+                        spec.act_out_width):
+        epilogue += OpCount.block(alu=SAT_CYCLES)
+    if spec.mult is not None:
+        if spec.per_neuron_mult:
+            epilogue += OpCount.block(load=1, alu=1, mul=1)
+        else:
+            epilogue += OpCount.block(mul=1)
+        if spec.shift:
+            epilogue += OpCount.block(alu=1)
+
+    col = (
+        OpCount.block(alu=2 + (1 if main_iters else 0))
+        + inner
+        + epilogue
+        + OpCount.block(store=1, alu=1)
+    )
+    return OpCount() + setup + countdown_loop(col, spec.n_out)

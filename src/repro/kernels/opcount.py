@@ -1,0 +1,91 @@
+"""Operation-count records — the analytical cost model's currency.
+
+An :class:`OpCount` tallies executed instructions by cost category; pricing
+with a :class:`~repro.mcu.cpu.CycleCosts` table yields cycles.  Keeping
+counts (rather than cycles) makes the model portable across boards: the
+same kernel priced with a different cost table gives that board's latency.
+
+The validation tests assert that for every kernel the analytical OpCount
+prices to *exactly* the cycle count measured by the ISA interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.cpu import CycleCosts
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Executed-instruction tallies for one program run."""
+
+    alu: int = 0            # moves, adds, shifts, compares, eor, subsi...
+    mul: int = 0
+    load: int = 0
+    store: int = 0
+    branch_taken: int = 0
+    branch_not_taken: int = 0
+    halt: int = 1
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            alu=self.alu + other.alu,
+            mul=self.mul + other.mul,
+            load=self.load + other.load,
+            store=self.store + other.store,
+            branch_taken=self.branch_taken + other.branch_taken,
+            branch_not_taken=self.branch_not_taken + other.branch_not_taken,
+            halt=self.halt + other.halt,
+        )
+
+    def scaled(self, n: int) -> "OpCount":
+        """This block of code executed ``n`` times (halt excluded)."""
+        return OpCount(
+            alu=self.alu * n,
+            mul=self.mul * n,
+            load=self.load * n,
+            store=self.store * n,
+            branch_taken=self.branch_taken * n,
+            branch_not_taken=self.branch_not_taken * n,
+            halt=self.halt * n,
+        )
+
+    @classmethod
+    def block(cls, alu=0, mul=0, load=0, store=0, branch_taken=0,
+              branch_not_taken=0) -> "OpCount":
+        """A code fragment (no HALT attached)."""
+        return cls(alu, mul, load, store, branch_taken, branch_not_taken,
+                   halt=0)
+
+    @property
+    def instructions(self) -> int:
+        return (
+            self.alu + self.mul + self.load + self.store
+            + self.branch_taken + self.branch_not_taken + self.halt
+        )
+
+    def cycles(self, costs: CycleCosts | None = None) -> int:
+        costs = costs or CycleCosts()
+        base = (
+            self.alu * costs.alu
+            + self.mul * costs.mul
+            + self.load * costs.load
+            + self.store * costs.store
+            + self.branch_taken * costs.branch_taken
+            + self.branch_not_taken * costs.branch_not_taken
+            + self.halt * costs.halt
+        )
+        return base + costs.fetch_extra * self.instructions
+
+
+def countdown_loop(body: OpCount, iterations: int) -> OpCount:
+    """A ``SUBSI`` + ``BGT`` count-down loop run ``iterations`` times.
+
+    Assumes ``iterations >= 1``; the final ``BGT`` falls through.
+    """
+    per_iter = body + OpCount.block(alu=1)  # the SUBSI
+    total = per_iter.scaled(iterations)
+    return total + OpCount.block(
+        branch_taken=iterations - 1, branch_not_taken=1
+    )

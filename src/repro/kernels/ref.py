@@ -1,0 +1,172 @@
+"""Bit-exact NumPy reference for every inference kernel.
+
+These functions define the *numeric* ground truth: the generated ISA
+programs must produce identical outputs (asserted by the validation tests),
+and the float training stack is compared against them with a tolerance.
+
+All arithmetic is done in int64 with explicit int32-overflow checks — the
+reference detects rather than emulates wraparound, because the deployment
+pipeline guarantees (via calibration) that no intermediate overflows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.kernels.spec import INT32_MAX, INT32_MIN, LayerKernelSpec
+
+
+def _check_int32(values: np.ndarray, what: str) -> None:
+    if values.size == 0:
+        return
+    lo, hi = int(values.min()), int(values.max())
+    if lo < INT32_MIN or hi > INT32_MAX:
+        raise QuantizationError(
+            f"{what} overflows int32: range [{lo}, {hi}]"
+        )
+
+
+def _check_act_in(spec: LayerKernelSpec, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.int64)
+    if x.shape[-1] != spec.n_in:
+        raise QuantizationError(
+            f"input has {x.shape[-1]} features, spec expects {spec.n_in}"
+        )
+    lo, hi = spec.act_in_range()
+    if x.size and (int(x.min()) < lo or int(x.max()) > hi):
+        raise QuantizationError(
+            f"input activations outside {spec.act_in_width}-byte range"
+        )
+    return x
+
+
+def _finish(spec: LayerKernelSpec, acc: np.ndarray) -> np.ndarray:
+    """Shared epilogue per Eq. 1: requantize, add bias, ReLU, range-check."""
+    _check_int32(acc, "accumulator")
+    if spec.mult is None:
+        z = acc + spec.bias.astype(np.int64)
+    else:
+        mult = (
+            spec.mult.astype(np.int64)
+            if isinstance(spec.mult, np.ndarray)
+            else np.int64(spec.mult)
+        )
+        product = acc * mult
+        _check_int32(product, "requantization product")
+        # Arithmetic shift == floor division by 2^shift.
+        z = (product >> spec.shift) + spec.bias.astype(np.int64)
+    _check_int32(z, "post-bias value")
+    if spec.relu:
+        z = np.maximum(z, 0)
+    lo, hi = spec.act_out_range()
+    if spec.relu and spec.mult is not None and spec.act_out_width in (1, 2):
+        # Requantized ReLU outputs saturate at the top of their storage
+        # width (the kernels' branchless clamp); the bottom is 0 via ReLU.
+        z = np.minimum(z, hi)
+    elif z.size and (int(z.min()) < lo or int(z.max()) > hi):
+        raise QuantizationError(
+            f"output activations outside {spec.act_out_width}-byte range "
+            f"[{int(z.min())}, {int(z.max())}]"
+        )
+    return z.astype(np.int64)
+
+
+def layer_forward(spec: LayerKernelSpec, x: np.ndarray) -> np.ndarray:
+    """Integer forward pass of one layer (dense or ternary).
+
+    ``x`` is ``(n_in,)`` or ``(batch, n_in)`` of integers within the input
+    activation range.  Returns int64 in the output range.
+
+    Every sparse encoding computes this same function — the formats differ
+    only in traversal order and storage, which cannot change an integer
+    sum.  The encoding-specific behaviour (cycle counts, flash bytes) lives
+    in the ``count_*`` cost models and :mod:`repro.deploy.size`.
+    """
+    x = _check_act_in(spec, x)
+    matrix = (
+        spec.weights if spec.is_dense else spec.adjacency
+    ).astype(np.int64)
+    acc = x @ matrix
+    return _finish(spec, acc)
+
+
+def model_forward(
+    specs: list[LayerKernelSpec], x: np.ndarray
+) -> np.ndarray:
+    """Chain layer specs; returns the final layer's output (logits)."""
+    out = np.asarray(x, dtype=np.int64)
+    for spec in specs:
+        out = layer_forward(spec, out)
+    return out
+
+
+def model_predict(specs: list[LayerKernelSpec], x: np.ndarray) -> np.ndarray:
+    """Class prediction: argmax over the final integer outputs."""
+    logits = model_forward(specs, x)
+    return np.argmax(logits, axis=-1)
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col (Figure 2's comparison subject)
+# ---------------------------------------------------------------------------
+
+
+def im2col(x: np.ndarray, image_size: int, kernel_size: int) -> np.ndarray:
+    """Flatten S×S receptive fields into a (S², M²) matrix (valid conv).
+
+    ``x`` is a flattened single-channel image of ``image_size²`` ints.
+    Column ``q = r·M + c`` holds the receptive field at output position
+    (r, c), matching Eq. 4 of the paper with C = 1.
+    """
+    n, s = image_size, kernel_size
+    if x.shape != (n * n,):
+        raise QuantizationError(
+            f"expected flattened {n}x{n} image, got shape {x.shape}"
+        )
+    if not 1 <= s <= n:
+        raise QuantizationError(f"kernel size {s} invalid for image {n}")
+    m = n - s + 1
+    image = x.reshape(n, n)
+    columns = np.empty((s * s, m * m), dtype=np.int64)
+    for r in range(m):
+        for c in range(m):
+            columns[:, r * m + c] = image[r : r + s, c : c + s].reshape(-1)
+    return columns
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    image_size: int,
+    kernels: np.ndarray,   # int8, shape (K, S, S)
+    bias: np.ndarray,      # int32, shape (K,)
+    relu: bool = True,
+) -> np.ndarray:
+    """Valid convolution as im2col + GEMM, returning (K, M²) accumulators.
+
+    This is the computation the paper's Fig. 2 CNN kernel performs on the
+    MCU; the generated program must match it bit-exactly.
+    """
+    kernels = np.asarray(kernels, dtype=np.int64)
+    k, s, s2 = kernels.shape
+    if s != s2:
+        raise QuantizationError("kernels must be square")
+    columns = im2col(np.asarray(x, dtype=np.int64), image_size, s)
+    weights = kernels.reshape(k, s * s)  # Eq. 5: K × (C·S²)
+    acc = weights @ columns + np.asarray(bias, dtype=np.int64)[:, None]
+    _check_int32(acc, "conv accumulator")
+    if relu:
+        acc = np.maximum(acc, 0)
+    return acc
+
+
+def conv_macc_count(
+    k: int, c: int, s: int, m: int
+) -> int:
+    """Eq. 7: MACCs of one conv layer."""
+    return k * c * s * s * m * m
+
+
+def fc_macc_count(n_in: int, n_out: int) -> int:
+    """Eq. 8: MACCs of one dense layer."""
+    return n_in * n_out

@@ -1,0 +1,74 @@
+"""Cortex-M0 substrate: miniature ISA, cycle-exact interpreter, boards.
+
+This package replaces the paper's physical STM32F072RB board.  See
+DESIGN.md §1 for the substitution argument: latency comparisons in the
+paper are driven by instruction counts and memory-access patterns, which a
+deterministic cycle model preserves.
+"""
+
+from repro.mcu.board import (
+    CORTEX_M4_REFERENCE,
+    MCU_CLASSES,
+    STM32F072RB,
+    BoardProfile,
+    MCUClass,
+    classify_board,
+    format_mcu_class_table,
+)
+from repro.mcu.cpu import CPU, CycleCosts, ExecutionResult
+from repro.mcu.energy import (
+    STM32F0_ENERGY,
+    BatteryLifeReport,
+    EnergyProfile,
+    EnergyReport,
+    battery_life,
+    inference_energy,
+)
+from repro.mcu.interrupts import (
+    EXCEPTION_ENTRY_CYCLES,
+    EXCEPTION_EXIT_CYCLES,
+    InterruptSource,
+    PreemptedRun,
+    run_with_interrupts,
+    worst_case_latency_ms,
+)
+from repro.mcu.isa import Assembler, Instr, Op, Program, Reg
+from repro.mcu.memory import Allocator, MemoryMap, Region
+from repro.mcu.profiler import LatencyReport, Profiler
+from repro.mcu.timer import Tim2
+
+__all__ = [
+    "Assembler",
+    "BatteryLifeReport",
+    "EXCEPTION_ENTRY_CYCLES",
+    "EXCEPTION_EXIT_CYCLES",
+    "EnergyProfile",
+    "EnergyReport",
+    "InterruptSource",
+    "PreemptedRun",
+    "STM32F0_ENERGY",
+    "battery_life",
+    "inference_energy",
+    "run_with_interrupts",
+    "worst_case_latency_ms",
+    "Allocator",
+    "BoardProfile",
+    "CORTEX_M4_REFERENCE",
+    "CPU",
+    "CycleCosts",
+    "ExecutionResult",
+    "Instr",
+    "LatencyReport",
+    "MCU_CLASSES",
+    "MCUClass",
+    "MemoryMap",
+    "Op",
+    "Profiler",
+    "Program",
+    "Reg",
+    "Region",
+    "STM32F072RB",
+    "Tim2",
+    "classify_board",
+    "format_mcu_class_table",
+]

@@ -1,0 +1,134 @@
+"""Board profiles and the qualitative MCU classification of Table 1.
+
+A :class:`BoardProfile` bundles everything the rest of the library needs to
+know about a target: clock frequency, memory budgets, cycle-cost table, and
+how to convert cycles to milliseconds.  The default profile is the paper's
+evaluation platform, an STM32F072RB (Cortex-M0, 8 MHz, 16 KB RAM, 128 KB
+flash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mcu.cpu import CycleCosts
+from repro.mcu.memory import MemoryMap
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Static description of one MCU target."""
+
+    name: str
+    core: str
+    clock_hz: int
+    flash_kb: int
+    ram_kb: int
+    costs: CycleCosts = field(default_factory=CycleCosts)
+    has_fpu: bool = False
+    has_dsp: bool = False
+
+    @property
+    def flash_bytes(self) -> int:
+        return self.flash_kb * 1024
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.ram_kb * 1024
+
+    def cycles_to_ms(self, cycles: int) -> float:
+        """Convert a cycle count to milliseconds at this board's clock."""
+        return cycles / self.clock_hz * 1e3
+
+    def ms_to_cycles(self, ms: float) -> int:
+        return round(ms / 1e3 * self.clock_hz)
+
+    def make_memory(self) -> MemoryMap:
+        """A fresh memory map with this board's flash/RAM budgets."""
+        return MemoryMap.stm32(flash_kb=self.flash_kb, ram_kb=self.ram_kb)
+
+
+#: The paper's evaluation board: STM32F072RB at 8 MHz, -Os, bare metal.
+STM32F072RB = BoardProfile(
+    name="STM32F072RB",
+    core="Cortex-M0",
+    clock_hz=8_000_000,
+    flash_kb=128,
+    ram_kb=16,
+    costs=CycleCosts(),  # zero wait states at 8 MHz, single-cycle multiplier
+)
+
+#: A Cortex-M4-class board, used for what-if comparisons (not in the paper's
+#: main evaluation; Table 1's "Medium" class).
+CORTEX_M4_REFERENCE = BoardProfile(
+    name="Kinetis-K64F",
+    core="Cortex-M4",
+    clock_hz=120_000_000,
+    flash_kb=1024,
+    ram_kb=256,
+    costs=CycleCosts(fetch_extra=1),  # flash wait states at high clock
+    has_fpu=True,
+    has_dsp=True,
+)
+
+
+@dataclass(frozen=True)
+class MCUClass:
+    """One row of the paper's Table 1 (qualitative MCU resource classes)."""
+
+    name: str
+    key_features: str
+    memory: str
+    example: str
+
+
+#: Table 1 of the paper, verbatim.
+MCU_CLASSES: tuple[MCUClass, ...] = (
+    MCUClass(
+        name="Low",
+        key_features="8/16/32-bit core, no FPU, no DSP/SIMD",
+        memory="<128 KB RAM, <512 KB Flash",
+        example="STMicroelectronics STM32C0/F0/L0 (Cortex-M0/M0+)",
+    ),
+    MCUClass(
+        name="Medium",
+        key_features="32-bit core, single-precision FPU, basic SIMD",
+        memory="128-512 KB RAM, 512 KB-2 MB Flash",
+        example="NXP Kinetis K series (Cortex-M4)",
+    ),
+    MCUClass(
+        name="Advanced",
+        key_features=(
+            "32-bit core, double-precision FPU, vector SIMD, optional cache"
+        ),
+        memory=">512 KB RAM, >2 MB Flash",
+        example="Renesas RA8D1 (Cortex-M85)",
+    ),
+)
+
+
+def classify_board(board: BoardProfile) -> MCUClass:
+    """Map a board onto Table 1's Low/Medium/Advanced classes."""
+    if not board.has_fpu and not board.has_dsp:
+        return MCU_CLASSES[0]
+    if board.ram_kb <= 512:
+        return MCU_CLASSES[1]
+    return MCU_CLASSES[2]
+
+
+def format_mcu_class_table() -> str:
+    """Render Table 1 as aligned text (used by the Table 1 bench target)."""
+    headers = ("Class", "Key features", "Memory", "Example")
+    rows = [
+        (c.name, c.key_features, c.memory, c.example) for c in MCU_CLASSES
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row: tuple[str, ...]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

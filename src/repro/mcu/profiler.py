@@ -1,0 +1,80 @@
+"""Measurement harness: run a program N times and report latency statistics.
+
+The paper reports the average of 100 timed runs per configuration.  The
+simulator is deterministic, so repeated runs return identical cycle counts;
+:class:`Profiler` still exposes the same run-loop interface so measurement
+code matches the paper's methodology, and it verifies the determinism claim
+("execution time is entirely predictable") as a side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.mcu.board import BoardProfile
+from repro.mcu.cpu import CPU, ExecutionResult
+from repro.mcu.isa import Program, Reg
+from repro.mcu.memory import MemoryMap
+from repro.mcu.timer import Tim2
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency statistics over repeated runs of one program."""
+
+    runs: int
+    cycles_mean: float
+    cycles_min: int
+    cycles_max: int
+    latency_ms: float
+    instructions: int
+
+    @property
+    def deterministic(self) -> bool:
+        return self.cycles_min == self.cycles_max
+
+
+class Profiler:
+    """Times program executions on a board, TIM2-style."""
+
+    def __init__(self, board: BoardProfile, memory: MemoryMap) -> None:
+        self.board = board
+        self.memory = memory
+        self.cpu = CPU(memory, costs=board.costs)
+        self.timer = Tim2(board.clock_hz)
+
+    def run_once(
+        self, program: Program, registers: dict[Reg, int] | None = None
+    ) -> ExecutionResult:
+        """Single execution with timer bracketing."""
+        self.timer.start()
+        result = self.cpu.run(program, registers)
+        self.timer.advance(result.cycles)
+        return result
+
+    def measure(
+        self,
+        program: Program,
+        registers: dict[Reg, int] | None = None,
+        runs: int = 100,
+    ) -> LatencyReport:
+        """Average latency over ``runs`` executions (paper methodology)."""
+        if runs < 1:
+            raise ExecutionError("need at least one run")
+        cycle_counts: list[int] = []
+        instructions = 0
+        for _ in range(runs):
+            result = self.run_once(program, dict(registers or {}))
+            cycle_counts.append(result.cycles)
+            instructions = result.instructions
+        return LatencyReport(
+            runs=runs,
+            cycles_mean=sum(cycle_counts) / runs,
+            cycles_min=min(cycle_counts),
+            cycles_max=max(cycle_counts),
+            latency_ms=self.board.cycles_to_ms(
+                round(sum(cycle_counts) / runs)
+            ),
+            instructions=instructions,
+        )

@@ -1,0 +1,62 @@
+"""TIM2-style hardware timer facade.
+
+The paper measures inference latency with TIM2, a 32-bit timer clocked at
+the system frequency with no prescaler.  :class:`Tim2` reproduces that
+measurement interface on top of the simulator's cycle counter, including
+32-bit wraparound, so measurement code reads exactly like firmware:
+
+    timer = Tim2(board.clock_hz)
+    timer.start()
+    timer.advance(result.cycles)
+    elapsed_ms = timer.elapsed_ms()
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+_MASK32 = 0xFFFF_FFFF
+
+
+class Tim2:
+    """A free-running 32-bit up-counter at the system clock frequency."""
+
+    def __init__(self, clock_hz: int, prescaler: int = 0) -> None:
+        if clock_hz <= 0:
+            raise ExecutionError("timer clock must be positive")
+        if prescaler < 0:
+            raise ExecutionError("prescaler must be non-negative")
+        self.clock_hz = clock_hz
+        #: Hardware semantics: counter ticks every (prescaler + 1) cycles.
+        self.prescaler = prescaler
+        self._counter = 0
+        self._residual = 0
+        self._start: int | None = None
+
+    @property
+    def counter(self) -> int:
+        """Current CNT register value."""
+        return self._counter
+
+    def advance(self, cycles: int) -> None:
+        """Advance the timer by ``cycles`` CPU cycles."""
+        if cycles < 0:
+            raise ExecutionError("cannot advance the timer backwards")
+        total = self._residual + cycles
+        ticks, self._residual = divmod(total, self.prescaler + 1)
+        self._counter = (self._counter + ticks) & _MASK32
+
+    def start(self) -> None:
+        """Latch the current counter value (like reading CNT before work)."""
+        self._start = self._counter
+
+    def elapsed_ticks(self) -> int:
+        """Ticks since :meth:`start`, handling one 32-bit wraparound."""
+        if self._start is None:
+            raise ExecutionError("elapsed_ticks() before start()")
+        return (self._counter - self._start) & _MASK32
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since :meth:`start`."""
+        tick_hz = self.clock_hz / (self.prescaler + 1)
+        return self.elapsed_ticks() / tick_hz * 1e3

@@ -1,0 +1,69 @@
+"""Loss functions (forward value + gradient w.r.t. the model output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import softmax
+
+
+class Loss:
+    """Interface: ``forward`` returns the scalar loss, ``backward`` the
+    gradient w.r.t. the predictions that were passed to ``forward``."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy fused for numerical stability.
+
+    ``targets`` are integer class labels of shape ``(batch,)``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets)
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ConfigurationError(
+                f"targets shape {targets.shape} does not match batch "
+                f"{logits.shape[0]}"
+            )
+        probs = softmax(logits.astype(np.float64))
+        self._probs = probs
+        self._targets = targets
+        picked = probs[np.arange(len(targets)), targets]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        probs, targets = self._probs, self._targets
+        grad = probs.copy()
+        grad[np.arange(len(targets)), targets] -= 1.0
+        return (grad / len(targets)).astype(np.float32)
+
+
+class MeanSquaredError(Loss):
+    """Plain MSE for regression-style examples."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != predictions.shape:
+            raise ConfigurationError(
+                f"targets shape {targets.shape} != predictions "
+                f"{predictions.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return (2.0 * self._diff / self._diff.size).astype(np.float32)

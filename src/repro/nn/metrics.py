@@ -1,0 +1,46 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ConfigurationError(
+            f"shape mismatch {predictions.shape} vs {targets.shape}"
+        )
+    return float((predictions == targets).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``C[t, p]`` counts samples of true class ``t`` predicted as ``p``."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``targets``."""
+    matrix = confusion_matrix(predictions, targets, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        return np.where(
+            totals > 0, np.diag(matrix) / np.maximum(totals, 1), np.nan
+        )
+
+
+def chance_accuracy(targets: np.ndarray) -> float:
+    """Accuracy of always predicting the majority class."""
+    _, counts = np.unique(np.asarray(targets), return_counts=True)
+    return float(counts.max() / counts.sum())

@@ -1,0 +1,25 @@
+"""Post-training int8/int16 quantization and fixed-point helpers."""
+
+from repro.quantize.fixed_point import (
+    float_to_q,
+    q_to_float,
+    quantize_multiplier,
+    quantize_multipliers_shared_shift,
+    requantize,
+)
+from repro.quantize.ptq import (
+    CALIBRATION_HEADROOM,
+    QuantizedModel,
+    quantize_model,
+)
+
+__all__ = [
+    "CALIBRATION_HEADROOM",
+    "QuantizedModel",
+    "float_to_q",
+    "q_to_float",
+    "quantize_model",
+    "quantize_multiplier",
+    "quantize_multipliers_shared_shift",
+    "requantize",
+]

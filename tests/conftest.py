@@ -1,0 +1,41 @@
+"""Shared fixtures: small datasets and trained models, built once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neuroc import NeuroCConfig, train_neuroc
+from repro.core.mlp import MLPConfig, train_mlp
+from repro.datasets import load
+
+
+@pytest.fixture(scope="session")
+def digits_small():
+    """A small digits_like split shared by training-dependent tests."""
+    return load("digits_like", n_train=600, n_test=200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def trained_neuroc(digits_small):
+    """One trained + quantized Neuro-C model on the small digits set."""
+    config = NeuroCConfig(
+        n_in=64, n_out=10, hidden=(48,), threshold=0.85,
+        name="test-neuroc", seed=0,
+    )
+    return train_neuroc(config, digits_small, epochs=35, lr=0.01)
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(digits_small):
+    """One trained + quantized MLP baseline on the small digits set."""
+    config = MLPConfig(
+        n_in=64, n_out=10, hidden=(24,), dropout=0.1, name="test-mlp",
+        seed=0,
+    )
+    return train_mlp(config, digits_small, epochs=25)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

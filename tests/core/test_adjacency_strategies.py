@@ -1,0 +1,115 @@
+"""The four §3.2 adjacency strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import (
+    clustered_adjacency,
+    constrained_random_adjacency,
+    locality_adjacency,
+    make_fixed_adjacency,
+    random_adjacency,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRandom:
+    def test_density_approximate(self, rng):
+        matrix = random_adjacency(200, 50, density=0.1, rng=rng)
+        observed = np.count_nonzero(matrix) / matrix.size
+        assert observed == pytest.approx(0.1, abs=0.02)
+
+    def test_signs_balanced(self, rng):
+        matrix = random_adjacency(200, 50, density=0.3, rng=rng)
+        positives = (matrix == 1).sum()
+        negatives = (matrix == -1).sum()
+        assert positives == pytest.approx(negatives, rel=0.15)
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_adjacency(10, 10, density=0.0, rng=rng)
+
+
+class TestConstrainedRandom:
+    def test_exact_fan_in_per_neuron(self, rng):
+        matrix = constrained_random_adjacency(100, 20, fan_in=7, rng=rng)
+        assert (np.count_nonzero(matrix, axis=0) == 7).all()
+
+    def test_fan_in_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            constrained_random_adjacency(10, 5, fan_in=11, rng=rng)
+        with pytest.raises(ConfigurationError):
+            constrained_random_adjacency(10, 5, fan_in=0, rng=rng)
+
+
+class TestLocality:
+    def test_2d_connections_within_window(self, rng):
+        height = width = 8
+        radius = 2
+        matrix = locality_adjacency(
+            64, 16, rng, image_shape=(height, width), radius=radius,
+            density_in_window=1.0,
+        )
+        rows = np.arange(64) // width
+        cols = np.arange(64) % width
+        anchor_index = np.linspace(0, 63, 16)
+        for j in range(16):
+            connected = np.flatnonzero(matrix[:, j])
+            anchor_row = anchor_index[j] // width
+            anchor_col = anchor_index[j] % width
+            assert (np.abs(rows[connected] - anchor_row) <= radius).all()
+            assert (np.abs(cols[connected] - anchor_col) <= radius).all()
+
+    def test_1d_window(self, rng):
+        matrix = locality_adjacency(50, 10, rng, radius=3,
+                                    density_in_window=1.0)
+        anchors = np.linspace(0, 49, 10)
+        for j in range(10):
+            connected = np.flatnonzero(matrix[:, j])
+            assert (np.abs(connected - anchors[j]) <= 3).all()
+            assert len(connected) > 0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            locality_adjacency(64, 8, rng, image_shape=(5, 5))
+
+
+class TestClustered:
+    def test_target_density(self, rng):
+        matrix = clustered_adjacency(784, 32, density=0.1, rng=rng)
+        per_column = np.count_nonzero(matrix, axis=0)
+        assert (per_column == round(0.1 * 784)).all()
+
+    def test_clustering_reduces_gap_spread(self, rng):
+        """Clustered matrices must have smaller median index gaps than
+        uniform ones — that is the property §4.2's block format exploits."""
+        clustered = clustered_adjacency(784, 16, 0.1, rng,
+                                        cluster_span=48)
+        uniform = constrained_random_adjacency(784, 16, 78, rng)
+
+        def median_gap(matrix):
+            gaps = []
+            for j in range(matrix.shape[1]):
+                idx = np.flatnonzero(matrix[:, j])
+                if len(idx) > 1:
+                    gaps.extend(np.diff(idx))
+            return np.median(gaps)
+
+        assert median_gap(clustered) < median_gap(uniform)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "strategy", ["random", "constrained_random", "locality"]
+    )
+    def test_all_fixed_strategies_produce_ternary(self, strategy, rng):
+        matrix = make_fixed_adjacency(
+            strategy, 64, 12, rng, density=0.1, image_shape=(8, 8)
+        )
+        assert matrix.shape == (64, 12)
+        assert set(np.unique(matrix)) <= {-1, 0, 1}
+        assert np.count_nonzero(matrix) > 0
+
+    def test_quantization_is_not_a_fixed_strategy(self, rng):
+        with pytest.raises(ConfigurationError, match="trainable"):
+            make_fixed_adjacency("quantization", 10, 5, rng)

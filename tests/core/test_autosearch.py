@@ -1,0 +1,75 @@
+"""Automated Neuro-C exploration: sampling, Pareto logic, tiny live run."""
+
+import pytest
+
+from repro.core.autosearch import (
+    CandidateResult,
+    pareto_frontier,
+    sample_configs,
+    search,
+)
+from repro.core.neuroc import NeuroCConfig
+from repro.errors import ConfigurationError
+
+
+def _candidate(acc, lat, mem, deployable=True):
+    return CandidateResult(
+        config=NeuroCConfig(8, 2, hidden=(4,)),
+        accuracy=acc, latency_ms=lat, memory_kb=mem,
+        deployable=deployable, nnz=10,
+    )
+
+
+class TestSampling:
+    def test_deterministic_and_distinct(self):
+        a = sample_configs(64, 10, count=15, seed=2)
+        b = sample_configs(64, 10, count=15, seed=2)
+        assert [c.hidden for c in a] == [c.hidden for c in b]
+        assert len({(c.hidden, c.threshold) for c in a}) == 15
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            sample_configs(64, 10, count=0)
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        good = _candidate(0.95, 10.0, 5.0)
+        dominated = _candidate(0.94, 12.0, 6.0)
+        incomparable = _candidate(0.97, 20.0, 9.0)
+        frontier = pareto_frontier([good, dominated, incomparable])
+        assert dominated not in frontier
+        assert good in frontier and incomparable in frontier
+
+    def test_identical_points_both_survive(self):
+        a = _candidate(0.9, 10.0, 5.0)
+        b = _candidate(0.9, 10.0, 5.0)
+        assert len(pareto_frontier([a, b])) == 2  # neither dominates
+
+    def test_frontier_sorted_by_latency(self):
+        points = [_candidate(0.9, 30.0, 5.0), _candidate(0.8, 10.0, 4.0)]
+        frontier = pareto_frontier(points)
+        assert [p.latency_ms for p in frontier] == sorted(
+            p.latency_ms for p in frontier
+        )
+
+
+class TestLiveSearch:
+    @pytest.fixture(scope="class")
+    def outcome(self, request):
+        digits = request.getfixturevalue("digits_small")
+        return search(digits, count=4, epochs=12, seed=0)
+
+    def test_search_evaluates_all_candidates(self, outcome):
+        assert len(outcome.all_results) == 4
+        assert 1 <= len(outcome.frontier) <= 4
+
+    def test_candidates_actually_learn(self, outcome):
+        assert max(c.accuracy for c in outcome.all_results) > 0.6
+
+    def test_budgeted_selection(self, outcome):
+        tightest = min(c.latency_ms for c in outcome.all_results)
+        best = outcome.best_under(max_latency_ms=tightest)
+        assert best is not None
+        assert best.latency_ms <= tightest
+        assert outcome.best_under(max_latency_ms=1e-9) is None

@@ -1,0 +1,185 @@
+"""Model builders, the TNN ablation, the MLP random search, and the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlp import MLPConfig, build_mlp
+from repro.core.neuroc import NeuroCConfig, build_neuroc
+from repro.core.search import (
+    SearchRecord,
+    best_deployable,
+    random_mlp_configs,
+    smallest_matching,
+)
+from repro.core.tnn import tnn_config_from
+from repro.core.zoo import BEST_DEPLOYABLE, NEUROC_ZOO, zoo_entry
+from repro.errors import ConfigurationError
+from repro.nn.layers import (
+    ActivationLayer,
+    BatchNormLayer,
+    DenseLayer,
+    DropoutLayer,
+    NeuroCLayer,
+)
+
+
+class TestNeuroCConfig:
+    def test_layer_dims(self):
+        config = NeuroCConfig(64, 10, hidden=(48, 24))
+        assert config.layer_dims == (64, 48, 24, 10)
+
+    def test_needs_hidden_layer(self):
+        with pytest.raises(ConfigurationError):
+            NeuroCConfig(64, 10, hidden=())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            NeuroCConfig(64, 10, hidden=(8,), strategy="magic")
+
+    def test_build_structure(self):
+        model = build_neuroc(NeuroCConfig(64, 10, hidden=(32,)))
+        kinds = [type(l).__name__ for l in model.layers]
+        assert kinds == ["NeuroCLayer", "ActivationLayer", "NeuroCLayer"]
+        assert all(l.use_scale for l in model.neuroc_layers())
+
+    def test_build_tnn_variant(self):
+        config = tnn_config_from(NeuroCConfig(64, 10, hidden=(32,),
+                                              name="base"))
+        model = build_neuroc(config)
+        assert all(not l.use_scale for l in model.neuroc_layers())
+        assert config.name == "base-tnn"
+        # Idempotent on an already-TNN config.
+        again = tnn_config_from(config)
+        assert not again.use_scale
+
+    def test_threshold_controls_sparsity(self):
+        sparse = build_neuroc(
+            NeuroCConfig(64, 10, hidden=(32,), threshold=0.95)
+        )
+        dense = build_neuroc(
+            NeuroCConfig(64, 10, hidden=(32,), threshold=0.5)
+        )
+        assert (
+            sparse.neuroc_layers()[0].sparsity
+            > dense.neuroc_layers()[0].sparsity
+        )
+
+    def test_fixed_strategy_builds_supported_layers(self):
+        config = NeuroCConfig(
+            64, 10, hidden=(16,), strategy="locality", image_shape=(8, 8)
+        )
+        model = build_neuroc(config)
+        first = model.neuroc_layers()[0]
+        assert first.support is not None
+        assert first.latent is not None  # signs still learn
+
+    def test_deterministic_under_seed(self):
+        a = build_neuroc(NeuroCConfig(64, 10, hidden=(16,), seed=3))
+        b = build_neuroc(NeuroCConfig(64, 10, hidden=(16,), seed=3))
+        assert np.array_equal(
+            a.neuroc_layers()[0].latent.value,
+            b.neuroc_layers()[0].latent.value,
+        )
+
+
+class TestMLPConfig:
+    def test_parameter_count(self):
+        config = MLPConfig(64, 10, hidden=(32,))
+        assert config.parameter_count == 64 * 32 + 32 + 32 * 10 + 10
+
+    def test_build_with_all_options(self):
+        config = MLPConfig(64, 10, hidden=(16, 8), dropout=0.2,
+                           batch_norm=True)
+        model = build_mlp(config)
+        kinds = [type(l) for l in model.layers]
+        assert kinds.count(DenseLayer) == 3
+        assert kinds.count(BatchNormLayer) == 2
+        assert kinds.count(DropoutLayer) == 2
+        assert kinds.count(ActivationLayer) == 2
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ConfigurationError):
+            MLPConfig(64, 10, hidden=(8,), dropout=1.5)
+
+
+class TestRandomSearch:
+    def test_sampling_is_deterministic(self):
+        a = random_mlp_configs(784, 10, count=20, seed=4)
+        b = random_mlp_configs(784, 10, count=20, seed=4)
+        assert [c.hidden for c in a] == [c.hidden for c in b]
+
+    def test_configs_are_distinct(self):
+        configs = random_mlp_configs(784, 10, count=30, seed=0)
+        keys = {(c.hidden, c.dropout, c.batch_norm) for c in configs}
+        assert len(keys) == len(configs)
+
+    def test_space_covers_paper_axes(self):
+        configs = random_mlp_configs(784, 10, count=50, seed=0)
+        assert any(len(c.hidden) > 1 for c in configs)     # depth varies
+        assert any(c.dropout > 0 for c in configs)
+        assert any(c.batch_norm for c in configs)
+        assert any(not c.batch_norm for c in configs)
+
+
+def _record(accuracy, params, deployable=True):
+    return SearchRecord(
+        config=MLPConfig(8, 2, hidden=(4,)),
+        accuracy=accuracy,
+        parameter_count=params,
+        program_memory_kb=params / 1024,
+        latency_ms=params / 1000,
+        deployable=deployable,
+        trained=None,
+    )
+
+
+class TestSelectionRules:
+    def test_smallest_matching_picks_minimum_params(self):
+        records = [_record(0.97, 30_000), _record(0.98, 20_000),
+                   _record(0.99, 90_000)]
+        chosen = smallest_matching(records, target_accuracy=0.975)
+        assert chosen.parameter_count == 20_000
+
+    def test_smallest_matching_respects_deployability(self):
+        records = [_record(0.99, 10_000, deployable=False),
+                   _record(0.99, 50_000, deployable=True)]
+        chosen = smallest_matching(records, 0.985)
+        assert chosen.parameter_count == 50_000
+        any_fit = smallest_matching(records, 0.985,
+                                    require_deployable=False)
+        assert any_fit.parameter_count == 10_000
+
+    def test_smallest_matching_none_when_unreachable(self):
+        assert smallest_matching([_record(0.9, 100)], 0.95) is None
+
+    def test_best_deployable(self):
+        records = [_record(0.99, 10, deployable=False),
+                   _record(0.95, 20), _record(0.97, 30)]
+        assert best_deployable(records).accuracy == 0.97
+        assert best_deployable(
+            [_record(0.9, 1, deployable=False)]
+        ) is None
+
+
+class TestZoo:
+    def test_entries_cover_figures(self):
+        assert {"mnist-small", "mnist-medium", "mnist-large"} <= set(
+            NEUROC_ZOO
+        )
+        assert set(BEST_DEPLOYABLE.values()) <= set(NEUROC_ZOO)
+
+    def test_mnist_tiers_grow_monotonically(self):
+        sizes = [
+            sum(zoo_entry(f"mnist-{t}").config.hidden)
+            for t in ("small", "medium", "large")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_entry(self):
+        with pytest.raises(ConfigurationError):
+            zoo_entry("mnist-gigantic")
+
+    def test_configs_are_buildable(self):
+        for entry in NEUROC_ZOO.values():
+            model = build_neuroc(entry.config)
+            assert isinstance(model.layers[0], NeuroCLayer)

@@ -1,0 +1,75 @@
+"""C code generation: structure checks plus a compile-and-run round trip."""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.deploy.cgen import generate_c_source
+from repro.errors import ConfigurationError
+from repro.kernels.ref import model_forward
+from repro.kernels.spec import make_dense_spec
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+class TestSourceStructure:
+    def test_contains_entry_point_and_layers(self, trained_neuroc):
+        source = generate_c_source(trained_neuroc.quantized)
+        assert "void neuroc_infer(" in source
+        assert "static void layer0(" in source
+        assert "#include <stdint.h>" in source
+
+    def test_static_arrays_are_const(self, trained_neuroc):
+        source = generate_c_source(trained_neuroc.quantized)
+        assert "static const" in source
+        assert "malloc" not in source     # §4.1: static allocation only
+
+    def test_fixed_loop_bounds(self, trained_neuroc):
+        source = generate_c_source(trained_neuroc.quantized)
+        n_out = trained_neuroc.quantized.specs[0].n_out
+        assert f"j < {n_out}" in source   # literal bound, not a variable
+
+    def test_test_main_optional(self, trained_neuroc):
+        assert "int main" not in generate_c_source(trained_neuroc.quantized)
+        assert "int main" in generate_c_source(
+            trained_neuroc.quantized, with_test_main=True
+        )
+
+    def test_dense_models_rejected(self, rng):
+        from repro.quantize.ptq import QuantizedModel
+        spec = make_dense_spec(
+            rng.integers(-5, 5, (4, 2)).astype(np.int8),
+            np.zeros(2, np.int32), mult=None, act_out_width=4, relu=False,
+        )
+        model = QuantizedModel([spec], input_scale=1 / 127, act_width=1)
+        with pytest.raises(ConfigurationError):
+            generate_c_source(model)
+
+
+@pytest.mark.skipif(not HAVE_GCC, reason="no host C compiler")
+class TestCompileRoundTrip:
+    def test_compiled_c_matches_reference_bitexactly(
+        self, trained_neuroc, digits_small, tmp_path
+    ):
+        quantized = trained_neuroc.quantized
+        source = generate_c_source(quantized, with_test_main=True)
+        c_file = tmp_path / "model.c"
+        c_file.write_text(source)
+        binary = tmp_path / "model"
+        subprocess.run(
+            ["gcc", "-std=c99", "-Wall", "-Werror", "-O2",
+             "-o", str(binary), str(c_file)],
+            check=True, capture_output=True,
+        )
+        for row in digits_small.x_test[:5]:
+            x_int = quantized.quantize_input(row)
+            out = subprocess.run(
+                [str(binary)],
+                input=" ".join(str(int(v)) for v in x_int),
+                capture_output=True, text=True, check=True,
+            )
+            c_logits = np.array([int(v) for v in out.stdout.split()])
+            expected = model_forward(quantized.specs, x_int)
+            assert np.array_equal(c_logits, expected)

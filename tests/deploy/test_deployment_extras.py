@@ -1,0 +1,83 @@
+"""Cross-cutting deployment properties: boards, formats, RAM accounting."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.artifact import DeployedModel, analytic_model_cycles
+from repro.mcu.board import CORTEX_M4_REFERENCE, STM32F072RB
+
+
+class TestCrossBoard:
+    def test_faster_clock_means_lower_latency_same_cycles(
+        self, trained_neuroc
+    ):
+        m0_cycles = analytic_model_cycles(
+            trained_neuroc.quantized, "block", STM32F072RB
+        )
+        m0_ms = STM32F072RB.cycles_to_ms(m0_cycles)
+        m4_cycles = analytic_model_cycles(
+            trained_neuroc.quantized, "block", CORTEX_M4_REFERENCE
+        )
+        m4_ms = CORTEX_M4_REFERENCE.cycles_to_ms(m4_cycles)
+        # The M4 profile pays flash wait states (more cycles) but its
+        # 15x clock wins by far.
+        assert m4_cycles > m0_cycles
+        assert m4_ms < m0_ms
+
+    def test_wait_states_charged_per_instruction(self, trained_neuroc):
+        from repro.kernels.codegen_sparse import count_sparse
+        spec = trained_neuroc.quantized.specs[0]
+        count = count_sparse(spec, "block")
+        delta = count.cycles(CORTEX_M4_REFERENCE.costs) - count.cycles(
+            STM32F072RB.costs
+        )
+        assert delta == count.instructions  # fetch_extra = 1
+
+
+class TestFormatChoice:
+    def test_block_format_minimizes_flash_on_wide_models(
+        self, trained_neuroc
+    ):
+        from repro.deploy.size import model_program_memory
+        sizes = {
+            fmt: model_program_memory(
+                trained_neuroc.quantized.specs, format_name=fmt
+            ).rodata_bytes
+            for fmt in ("csc", "delta", "mixed", "block")
+        }
+        assert sizes["block"] <= min(sizes["csc"], sizes["mixed"])
+
+    def test_every_format_is_deployable_for_the_zoo_scale(
+        self, trained_neuroc
+    ):
+        for fmt in ("csc", "delta", "mixed", "block"):
+            deployed = DeployedModel(trained_neuroc.quantized, fmt)
+            assert deployed.flash_data_bytes < STM32F072RB.flash_bytes
+
+
+class TestRamAccounting:
+    def test_activation_buffers_ping_pong(self, trained_neuroc,
+                                          digits_small):
+        deployed = DeployedModel(trained_neuroc.quantized, "mixed")
+        # Layer 0 reads buffer A and writes buffer B; layer 1 reads B.
+        first, second = deployed.images[0], deployed.images[1]
+        assert first.output_addr == second.input_addr
+        assert first.input_addr != first.output_addr
+
+    def test_inference_is_repeatable_in_place(self, trained_neuroc,
+                                              digits_small):
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        x = digits_small.x_test[0]
+        first = deployed.infer(x)
+        second = deployed.infer(x)
+        assert np.array_equal(first.logits, second.logits)
+        assert first.cycles == second.cycles
+
+    def test_distinct_inputs_can_yield_distinct_labels(
+        self, trained_neuroc, digits_small
+    ):
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        labels = {
+            deployed.infer(row).label for row in digits_small.x_test[:20]
+        }
+        assert len(labels) > 1

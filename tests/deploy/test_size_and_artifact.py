@@ -1,0 +1,148 @@
+"""Program-memory model, deployed artifact, and the deploy() entry point."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.artifact import (
+    DeployedModel,
+    analytic_model_cycles,
+    analytic_model_latency_ms,
+)
+from repro.deploy.deployer import deploy
+from repro.deploy.size import (
+    STARTUP_TEXT_BYTES,
+    ProgramMemoryReport,
+    layer_program_memory,
+    mlp_rodata_estimate,
+    model_program_memory,
+)
+from repro.errors import BudgetExceededError
+from repro.kernels.spec import make_dense_spec, make_neuroc_spec
+from repro.mcu.board import STM32F072RB
+
+
+class TestProgramMemoryReport:
+    def test_total_includes_startup(self):
+        report = ProgramMemoryReport(text_bytes=100, rodata_bytes=200)
+        assert report.total_bytes == 300 + STARTUP_TEXT_BYTES
+
+    def test_fits_boundary(self):
+        limit = STM32F072RB.flash_bytes
+        just_fits = ProgramMemoryReport(
+            text_bytes=0, rodata_bytes=limit - STARTUP_TEXT_BYTES
+        )
+        assert just_fits.fits(STM32F072RB)
+        too_big = ProgramMemoryReport(
+            text_bytes=1, rodata_bytes=limit - STARTUP_TEXT_BYTES
+        )
+        assert not too_big.fits(STM32F072RB)
+
+    def test_addition_counts_startup_once(self):
+        a = ProgramMemoryReport(10, 20)
+        b = ProgramMemoryReport(30, 40)
+        combined = a + b
+        assert combined.total_bytes == 100 + STARTUP_TEXT_BYTES
+
+
+class TestLayerProgramMemory:
+    def _spec(self, rng, n_in=50, n_out=8):
+        adjacency = rng.choice(
+            [-1, 0, 1], (n_in, n_out), p=[0.1, 0.8, 0.1]
+        ).astype(np.int8)
+        return make_neuroc_spec(
+            adjacency, rng.integers(-10, 10, n_out).astype(np.int32),
+            rng.integers(20, 90, n_out).astype(np.int16), shift=8,
+        )
+
+    def test_rodata_matches_encoding_plus_tables(self, rng):
+        spec = self._spec(rng)
+        from repro.kernels.codegen_sparse import encode_for_kernel
+        report = layer_program_memory(spec, "mixed")
+        expected = (
+            encode_for_kernel(spec, "mixed").size_bytes()
+            + 4 * spec.n_out   # bias
+            + 2 * spec.n_out   # per-neuron mult
+        )
+        # The linker-style allocator may add a few alignment-padding bytes.
+        assert expected <= report.rodata_bytes <= expected + 16
+
+    def test_block_format_is_smaller_than_csc_on_wide_input(self, rng):
+        spec = self._spec(rng, n_in=500, n_out=16)
+        block = layer_program_memory(spec, "block")
+        csc = layer_program_memory(spec, "csc")
+        assert block.rodata_bytes < csc.rodata_bytes
+
+    def test_oversized_model_can_still_be_sized(self, rng):
+        # The Figure 6a requirement: sizing must work beyond 128 KB.
+        weights = rng.integers(-50, 50, (784, 400)).astype(np.int8)
+        spec = make_dense_spec(
+            weights, rng.integers(-5, 5, 400).astype(np.int32),
+            mult=None, act_out_width=4, relu=False,
+        )
+        report = model_program_memory([spec])
+        assert report.total_kb > 128
+        assert not report.fits(STM32F072RB)
+
+    def test_mlp_rodata_estimate(self):
+        assert mlp_rodata_estimate([784, 32, 10]) == (
+            784 * 32 + 4 * 32 + 32 * 10 + 4 * 10
+        )
+
+
+@pytest.mark.usefixtures("trained_neuroc")
+class TestDeployedModel:
+    def test_simulated_accuracy_matches_reference(self, trained_neuroc,
+                                                  digits_small):
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        x, y = digits_small.x_test[:40], digits_small.y_test[:40]
+        assert deployed.accuracy(x, y) == trained_neuroc.quantized.accuracy(
+            x, y
+        )
+
+    def test_measured_cycles_equal_analytic(self, trained_neuroc,
+                                            digits_small):
+        for fmt in ("csc", "delta", "mixed", "block"):
+            deployed = DeployedModel(trained_neuroc.quantized, fmt)
+            result = deployed.infer(digits_small.x_test[0])
+            analytic = analytic_model_cycles(trained_neuroc.quantized, fmt)
+            assert result.cycles == analytic, fmt
+
+    def test_latency_uses_board_clock(self, trained_neuroc, digits_small):
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        result = deployed.infer(digits_small.x_test[0])
+        assert result.latency_ms == pytest.approx(
+            STM32F072RB.cycles_to_ms(result.cycles)
+        )
+        assert result.latency_ms == pytest.approx(
+            analytic_model_latency_ms(trained_neuroc.quantized, "block")
+        )
+
+    def test_flash_and_text_accounting(self, trained_neuroc):
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        report = model_program_memory(trained_neuroc.quantized.specs,
+                                      format_name="block")
+        assert deployed.flash_data_bytes == report.rodata_bytes
+        assert deployed.text_bytes == report.text_bytes
+
+
+class TestDeploy:
+    def test_deploy_fitting_model(self, trained_neuroc):
+        deployment = deploy(trained_neuroc.quantized, "block")
+        assert deployment.deployable
+        assert deployment.model is not None
+        assert deployment.latency_ms > 0
+
+    def test_deploy_oversized_model_reports_without_artifact(self, rng):
+        from repro.quantize.ptq import QuantizedModel
+        weights = rng.integers(-50, 50, (784, 400)).astype(np.int8)
+        spec = make_dense_spec(
+            weights, rng.integers(-5, 5, 400).astype(np.int32),
+            mult=None, act_out_width=4, relu=False,
+        )
+        oversized = QuantizedModel(specs=[spec], input_scale=1 / 127,
+                                   act_width=1)
+        deployment = deploy(oversized)
+        assert not deployment.deployable
+        assert deployment.model is None
+        with pytest.raises(BudgetExceededError):
+            deploy(oversized, require_fit=True)

@@ -1,0 +1,81 @@
+"""Hypothesis property tests over arbitrary ternary matrices."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encodings import encoding_names, get_encoding
+from repro.encodings.base import PolaritySplit
+
+
+def ternary_matrices(max_in=80, max_out=12):
+    shapes = st.tuples(
+        st.integers(1, max_in), st.integers(1, max_out)
+    )
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            np.int8, shape, elements=st.sampled_from([-1, 0, 1])
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=ternary_matrices())
+def test_all_formats_roundtrip_losslessly(matrix):
+    for name in encoding_names():
+        encoding = get_encoding(name).from_matrix(matrix)
+        assert np.array_equal(encoding.to_matrix(), matrix), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=ternary_matrices())
+def test_nnz_invariant_across_formats(matrix):
+    expected = int(np.count_nonzero(matrix))
+    for name in encoding_names():
+        assert get_encoding(name).from_matrix(matrix).nnz == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=ternary_matrices())
+def test_storage_at_least_one_byte_per_connection(matrix):
+    # No format can store a connection in less than one index byte.
+    nnz = int(np.count_nonzero(matrix))
+    for name in encoding_names():
+        assert get_encoding(name).from_matrix(matrix).size_bytes() >= nnz
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=ternary_matrices(), stride=st.sampled_from([1, 2]))
+def test_delta_roundtrips_for_both_strides(matrix, stride):
+    encoding = get_encoding("delta").from_matrix(matrix, stride=stride)
+    assert np.array_equal(encoding.to_matrix(), matrix)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=ternary_matrices())
+def test_polarity_split_partitions_the_matrix(matrix):
+    split = PolaritySplit.from_matrix(matrix)
+    assert np.array_equal(split.to_matrix(), matrix)
+    for j in range(split.n_out):
+        # Disjoint index sets, each sorted ascending.
+        pos, neg = set(split.pos[j]), set(split.neg[j])
+        assert not (pos & neg)
+        assert list(split.pos[j]) == sorted(split.pos[j])
+        assert list(split.neg[j]) == sorted(split.neg[j])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    matrix=ternary_matrices(max_in=300),
+    block_size=st.integers(1, 256),
+)
+def test_block_indices_always_fit_a_byte(matrix, block_size):
+    encoding = get_encoding("block").from_matrix(
+        matrix, block_size=block_size
+    )
+    for block in encoding.pos_blocks + encoding.neg_blocks:
+        assert block.indices.dtype == np.uint8
+        if len(block.indices):
+            assert int(block.indices.max()) < block_size
+    assert np.array_equal(encoding.to_matrix(), matrix)

@@ -1,0 +1,130 @@
+"""Experiment machinery that runs without training: fig2, fig5, tables,
+cache.  The training-backed figures are exercised by the benchmark suite
+(see benchmarks/) and by the integration smoke test."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2, fig5
+from repro.experiments.cache import cached_json, clear_memory_cache
+from repro.experiments.tables import format_table, ratio_str
+from repro.mcu.board import STM32F072RB
+
+
+class TestFig2:
+    def test_macc_counts_matched_within_rounding(self):
+        rows = fig2.run_fig2()
+        by_pair = {}
+        for row in rows:
+            by_pair.setdefault(row.pair, {})[row.kind] = row
+        for pair in by_pair.values():
+            cnn, fc = pair["cnn"], pair["fc"]
+            assert fc.maccs == pytest.approx(cnn.maccs, rel=0.02)
+
+    def test_fc_is_faster_at_equal_maccs(self):
+        rows = fig2.run_fig2()
+        assert fig2.fc_always_faster(rows)
+
+    def test_interpreter_confirms_analytic_for_first_pair(self):
+        """The figure's bench uses the analytic path; prove it against the
+        executing interpreter on the smaller pair."""
+        from repro.kernels.codegen_cnn import generate_conv
+        from repro.kernels.codegen_dense import generate_dense
+        k, s = fig2.PAIRS[0]
+        conv_spec = fig2.make_conv_spec(k, s)
+        conv_image = generate_conv(conv_spec)
+        rng = np.random.default_rng(0)
+        conv_image.write_input(rng.integers(-40, 40, 16 * 16))
+        measured = conv_image.run().cycles
+        from repro.kernels.codegen_cnn import count_conv
+        assert measured == count_conv(conv_spec).cycles(STM32F072RB.costs)
+
+        fc_spec = fig2.make_fc_spec(fig2.matched_fc_n_out(k, s))
+        fc_image = generate_dense(fc_spec)
+        fc_image.write_input(rng.integers(-40, 40, 256))
+        from repro.kernels.codegen_dense import count_dense
+        assert fc_image.run().cycles == count_dense(fc_spec).cycles(
+            STM32F072RB.costs
+        )
+
+    def test_table_renders(self):
+        text = fig2.format_fig2(fig2.run_fig2())
+        assert "CNN" in text and "FC" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig5.run_fig5()
+
+    def test_sweep_covers_paper_sizes(self, points):
+        assert {p.n_out for p in points} == {32, 64, 128, 256}
+        assert len(points) == 16
+
+    def test_latency_ordering(self, points):
+        assert fig5.latency_ordering_holds(points)
+
+    def test_memory_ordering(self, points):
+        assert fig5.memory_ordering_holds(points)
+
+    def test_latency_scales_linearly_with_output_size(self, points):
+        for fmt in ("csc", "delta", "mixed", "block"):
+            at32 = fig5.by_format_at(points, 32)[fmt].cycles
+            at256 = fig5.by_format_at(points, 256)[fmt].cycles
+            assert at256 == pytest.approx(8 * at32, rel=0.08)
+
+    def test_interpreter_confirms_analytic_at_32(self, points):
+        from repro.kernels.codegen_sparse import generate_sparse
+        spec = fig5.make_fig5_spec(32)
+        rng = np.random.default_rng(1)
+        x = rng.integers(-100, 100, fig5.INPUT_DIM)
+        for fmt in ("csc", "delta", "mixed", "block"):
+            image = generate_sparse(spec, fmt)
+            image.write_input(x)
+            assert image.run().cycles == fig5.by_format_at(
+                points, 32
+            )[fmt].cycles, fmt
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        text = format_table(("a", "bb"), [(1, 2.5), ("xxx", None)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+        assert "—" in text   # None rendering
+
+    def test_ratio_str(self):
+        assert "x2.00" in ratio_str(4.0, 2.0)
+        assert "n/a" in ratio_str(4.0, None)
+
+
+class TestCache:
+    def test_roundtrip_and_memoization(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        assert cached_json("unit-key", compute) == {"value": 42}
+        assert cached_json("unit-key", compute) == {"value": 42}
+        assert len(calls) == 1
+        # Fresh process simulation: drop the memo, hit the disk copy.
+        clear_memory_cache()
+        assert cached_json("unit-key", compute) == {"value": 42}
+        assert len(calls) == 1
+
+    def test_corrupt_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        (tmp_path / "bad-key.json").write_text("{nope")
+        assert cached_json("bad-key", lambda: [1, 2]) == [1, 2]
+
+    def test_non_serializable_result_fails_fast(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        with pytest.raises(TypeError):
+            cached_json("obj-key", lambda: object())

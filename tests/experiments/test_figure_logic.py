@@ -1,0 +1,153 @@
+"""Pure logic of the training-backed figures, tested on synthetic rows
+(the live training paths are exercised by the benchmark suite)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6, fig7, fig8
+
+
+def _mlp_point(name, accuracy, params, deployable=True):
+    return fig6.MLPPoint(
+        name=name, hidden=(8,), accuracy=accuracy, parameters=params,
+        memory_kb=params / 1024, latency_ms=params / 1000,
+        deployable=deployable,
+    )
+
+
+def _nc_point(tier, accuracy, memory_kb, latency_ms):
+    return fig6.NeuroCPoint(
+        tier=tier, accuracy=accuracy, parameters=int(memory_kb * 1024),
+        nnz=100, memory_kb=memory_kb, latency_ms=latency_ms,
+        deployable=True,
+    )
+
+
+class TestFig6Pairing:
+    def _comparisons(self, monkeypatch, mlps, tiers):
+        monkeypatch.setattr(fig6, "mlp_search_points", lambda seed=0: mlps)
+        monkeypatch.setattr(fig6, "neuroc_tier_points", lambda: tiers)
+        return fig6.tier_comparisons()
+
+    def test_pairs_with_smallest_matching_mlp(self, monkeypatch):
+        mlps = [
+            _mlp_point("a", 0.95, 10_000),
+            _mlp_point("b", 0.97, 30_000),
+            _mlp_point("c", 0.97, 20_000),
+        ]
+        tiers = {
+            "small": _nc_point("small", 0.94, 3.0, 4.0),
+            "medium": _nc_point("medium", 0.965, 6.0, 8.0),
+            "large": _nc_point("large", 0.99, 20.0, 30.0),
+        }
+        comparisons = self._comparisons(monkeypatch, mlps, tiers)
+        by_tier = {c.tier: c for c in comparisons}
+        assert by_tier["small"].mlp.name == "a"
+        assert by_tier["medium"].mlp.name == "c"   # smallest above 0.965
+        assert by_tier["large"].mlp is None        # nothing reaches 0.99
+
+    def test_reductions(self, monkeypatch):
+        mlps = [_mlp_point("a", 0.96, 10_000)]
+        tiers = {
+            "small": _nc_point("small", 0.95, 1.0, 2.0),
+            "medium": _nc_point("medium", 0.955, 2.0, 4.0),
+            "large": _nc_point("large", 0.96, 4.0, 5.0),
+        }
+        comparisons = self._comparisons(monkeypatch, mlps, tiers)
+        small = next(c for c in comparisons if c.tier == "small")
+        # mlp a: 10 ms / 9.77 KB; nc small: 2 ms / 1 KB.
+        assert fig6.latency_reduction(small) == pytest.approx(
+            1 - 2.0 / 10.0
+        )
+        assert fig6.memory_reduction(small) == pytest.approx(
+            1 - 1.0 / (10_000 / 1024)
+        )
+        large = next(c for c in comparisons if c.tier == "large")
+        assert fig6.latency_reduction(large) is not None
+
+
+class TestFig7Predicates:
+    def _row(self, dataset, family, accuracy, latency, memory):
+        return fig7.Fig7Row(
+            dataset=dataset, family=family, accuracy=accuracy,
+            latency_ms=latency, memory_kb=memory, deployable=True,
+        )
+
+    def test_wins_with_comparable_accuracy(self):
+        rows = [
+            self._row("d1", "mlp", 0.95, 100.0, 80.0),
+            self._row("d1", "neuroc", 0.947, 40.0, 30.0),  # within 0.5 pp
+        ]
+        assert fig7.neuroc_wins_everywhere(rows)
+
+    def test_loses_on_clear_accuracy_gap(self):
+        rows = [
+            self._row("d1", "mlp", 0.95, 100.0, 80.0),
+            self._row("d1", "neuroc", 0.93, 40.0, 30.0),
+        ]
+        assert not fig7.neuroc_wins_everywhere(rows)
+
+    def test_loses_on_latency(self):
+        rows = [
+            self._row("d1", "mlp", 0.95, 100.0, 80.0),
+            self._row("d1", "neuroc", 0.96, 120.0, 30.0),
+        ]
+        assert not fig7.neuroc_wins_everywhere(rows)
+
+
+class TestFig8Predicates:
+    def _row(self, dataset, nc, tnn, converged, lat=0.1, mem=300):
+        return fig8.Fig8Row(
+            dataset=dataset, neuroc_accuracy=nc, tnn_accuracy=tnn,
+            tnn_converged=converged, chance=0.2,
+            latency_increase_ms=lat, memory_increase_bytes=mem,
+        )
+
+    def test_necessary_requires_drop_and_a_divergence(self):
+        good = [
+            self._row("a", 0.97, 0.95, True),
+            self._row("b", 0.90, 0.85, True),
+            self._row("c", 0.88, 0.20, False),
+        ]
+        assert fig8.scale_is_necessary(good)
+        no_divergence = [self._row("a", 0.97, 0.95, True)]
+        assert not fig8.scale_is_necessary(no_divergence)
+        tnn_wins_somewhere = [
+            self._row("a", 0.90, 0.95, True),
+            self._row("c", 0.88, 0.20, False),
+        ]
+        assert not fig8.scale_is_necessary(tnn_wins_somewhere)
+
+    def test_cheap_bounds(self):
+        assert fig8.scale_is_cheap([self._row("a", 0.9, 0.8, True)])
+        assert not fig8.scale_is_cheap(
+            [self._row("a", 0.9, 0.8, True, lat=1.5)]
+        )
+        assert not fig8.scale_is_cheap(
+            [self._row("a", 0.9, 0.8, True, mem=4096)]
+        )
+
+    def test_accuracy_drop_in_percentage_points(self):
+        row = self._row("a", 0.97, 0.95, True)
+        assert row.accuracy_drop_pp == pytest.approx(2.0)
+
+
+class TestFig8MultStripping:
+    def test_strip_replaces_vectors_with_scalar_median(self, rng):
+        from repro.kernels.spec import make_neuroc_spec
+        from repro.quantize.ptq import QuantizedModel
+
+        adjacency = rng.choice([-1, 0, 1], (10, 4)).astype(np.int8)
+        spec = make_neuroc_spec(
+            adjacency, np.zeros(4, np.int32),
+            np.array([10, 20, 30, 40], dtype=np.int16), shift=8,
+            act_in_width=1, act_out_width=2, relu=True,
+        )
+        model = QuantizedModel([spec], input_scale=1 / 127, act_width=1)
+        stripped = fig8._strip_per_neuron_mult(model)
+        assert isinstance(stripped.specs[0].mult, int)
+        assert stripped.specs[0].mult == 25  # median of 10..40
+        # Architecture untouched.
+        assert np.array_equal(
+            stripped.specs[0].adjacency, spec.adjacency
+        )

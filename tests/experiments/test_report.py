@@ -1,0 +1,47 @@
+"""Report generator: section structure, with experiment runs stubbed."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.fig2 import Fig2Row
+from repro.experiments.fig5 import EncodingPoint
+
+
+def test_table1_section_static():
+    text = report.table1_section()
+    assert "Table 1" in text
+    assert "Cortex-M0" in text
+
+
+def test_fig2_section_uses_live_fast_experiment():
+    text = report.fig2_section()
+    assert "reproduced" in text
+    assert "| pair1 | CNN |" in text
+
+
+def test_fig5_section_uses_live_fast_experiment():
+    text = report.fig5_section()
+    assert "Figure 5" in text
+    assert "| delta |" in text
+    # paper references rendered alongside
+    assert "paper" in text.lower()
+
+
+def test_verdict_wording():
+    assert report._verdict(True) == "reproduced"
+    assert report._verdict(False) == "NOT reproduced"
+    assert report._fmt(None) == "—"
+    assert report._fmt(1.234, 1) == "1.2"
+
+
+def test_fig1_section_with_stubbed_run(monkeypatch):
+    from repro.experiments import fig1 as fig1_module
+
+    points = [
+        fig1_module.StrategyPoint("quantization", 16, 0.9, 300, 0.9),
+        fig1_module.StrategyPoint("random", 16, 0.1, 300, 0.5),
+    ]
+    monkeypatch.setattr(report.fig1, "run_fig1", lambda: points)
+    text = report.fig1_section()
+    assert "reproduced" in text
+    assert "quantization" in text

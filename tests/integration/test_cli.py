@@ -1,0 +1,86 @@
+"""The command-line interface, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.deploy.serialization import save_quantized_model
+
+
+@pytest.fixture(scope="module")
+def model_file(trained_neuroc, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    return str(save_quantized_model(trained_neuroc.quantized, path))
+
+
+class TestInformational:
+    def test_datasets_lists_all_four(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("digits_like", "mnist_like", "fashion_like",
+                     "cifar5_like"):
+            assert name in out
+
+    def test_zoo_lists_tiers(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist-large" in out
+        assert "best for cifar5_like" in out
+
+
+class TestModelCommands:
+    def test_evaluate(self, model_file, capsys):
+        assert main(
+            ["evaluate", "--model", model_file, "--dataset", "digits_like"]
+        ) == 0
+        out = capsys.readouterr().out
+        accuracy = float(out.strip().rsplit(" ", 1)[-1])
+        assert accuracy > 0.85
+
+    def test_evaluate_feature_mismatch(self, model_file, capsys):
+        assert main(
+            ["evaluate", "--model", model_file, "--dataset", "mnist_like"]
+        ) == 1
+        assert "features" in capsys.readouterr().err
+
+    def test_deploy_with_exports(self, model_file, tmp_path, capsys):
+        c_out = tmp_path / "engine.c"
+        fw_out = tmp_path / "image.bin"
+        assert main(
+            [
+                "deploy", "--model", model_file, "--format", "block",
+                "--c-out", str(c_out), "--firmware-out", str(fw_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fits 128 KB flash: True" in out
+        assert "neuroc_infer" in c_out.read_text()
+        from repro.deploy.firmware import verify_firmware_image
+        assert verify_firmware_image(fw_out.read_bytes()).crc_ok
+
+    def test_encodings_table(self, model_file, capsys):
+        assert main(["encodings", "--model", model_file]) == 0
+        out = capsys.readouterr().out
+        for fmt in ("csc", "delta", "mixed", "block"):
+            assert fmt in out
+
+    def test_missing_model_file(self, capsys):
+        assert main(["evaluate", "--model", "/nope.npz"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrain:
+    def test_train_writes_a_loadable_model(self, tmp_path, capsys):
+        out_file = tmp_path / "trained.npz"
+        code = main(
+            [
+                "train", "--dataset", "digits_like", "--hidden", "24",
+                "--threshold", "0.85", "--epochs", "8", "--lr", "0.01",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        from repro.deploy.serialization import load_quantized_model
+        model = load_quantized_model(out_file)
+        assert model.n_in == 64
+        assert model.n_out == 10

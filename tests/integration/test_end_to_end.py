@@ -1,0 +1,117 @@
+"""End-to-end pipeline: data → train → quantize → encode → flash → infer.
+
+This is the whole §5.1 deployment story on one small task, asserting the
+cross-backend invariants the repository is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tnn import train_tnn
+from repro.deploy import deploy
+from repro.deploy.artifact import DeployedModel
+from repro.kernels.codegen_sparse import SPARSE_FORMATS
+from repro.mcu.board import STM32F072RB
+
+
+class TestNeuroCEndToEnd:
+    def test_training_reached_usable_accuracy(self, trained_neuroc):
+        assert trained_neuroc.float_accuracy > 0.9
+        assert trained_neuroc.history.converged
+
+    def test_quantization_preserves_accuracy(self, trained_neuroc):
+        assert trained_neuroc.quantized_accuracy >= (
+            trained_neuroc.float_accuracy - 0.03
+        )
+
+    @pytest.mark.parametrize("fmt", SPARSE_FORMATS)
+    def test_on_device_inference_matches_reference(
+        self, fmt, trained_neuroc, digits_small
+    ):
+        deployment = deploy(trained_neuroc.quantized, fmt)
+        assert deployment.deployable
+        x = digits_small.x_test[:30]
+        y = digits_small.y_test[:30]
+        simulated = deployment.model.predict(x)
+        reference = trained_neuroc.quantized.predict(x)
+        assert np.array_equal(simulated, reference)
+        assert (simulated == y).mean() > 0.85
+
+    def test_all_formats_agree_on_logits(self, trained_neuroc,
+                                         digits_small):
+        x = digits_small.x_test[0]
+        logits = {
+            fmt: deploy(trained_neuroc.quantized, fmt).model.infer(x).logits
+            for fmt in SPARSE_FORMATS
+        }
+        baseline = logits["csc"]
+        for fmt, values in logits.items():
+            assert np.array_equal(values, baseline), fmt
+
+    def test_formats_differ_in_cost_not_outputs(self, trained_neuroc,
+                                                digits_small):
+        x = digits_small.x_test[0]
+        cycles = {
+            fmt: deploy(trained_neuroc.quantized, fmt).model.infer(x).cycles
+            for fmt in SPARSE_FORMATS
+        }
+        assert len(set(cycles.values())) > 1  # traversals cost differently
+
+    def test_deployment_fits_the_board_budgets(self, trained_neuroc):
+        deployment = deploy(trained_neuroc.quantized, "block")
+        assert deployment.program_memory.fits(STM32F072RB)
+        ram = deployment.model.memory.region("ram")
+        assert ram.reserved <= ram.size
+
+
+class TestMLPEndToEnd:
+    def test_mlp_pipeline(self, trained_mlp, digits_small):
+        deployment = deploy(trained_mlp.quantized)
+        assert deployment.deployable
+        x, y = digits_small.x_test[:25], digits_small.y_test[:25]
+        assert np.array_equal(
+            deployment.model.predict(x), trained_mlp.quantized.predict(x)
+        )
+        assert (deployment.model.predict(x) == y).mean() > 0.85
+
+
+class TestArchitectureComparison:
+    def test_neuroc_cheaper_than_mlp_at_similar_accuracy(
+        self, trained_neuroc, trained_mlp
+    ):
+        """The headline comparison, on the small digits task: at least
+        MLP-level accuracy with cheaper inference and storage."""
+        assert trained_neuroc.quantized_accuracy >= (
+            trained_mlp.quantized_accuracy - 0.03
+        )
+        neuroc = deploy(trained_neuroc.quantized, "block")
+        mlp = deploy(trained_mlp.quantized)
+        assert neuroc.latency_ms < mlp.latency_ms
+        assert neuroc.program_memory.rodata_bytes < (
+            mlp.program_memory.rodata_bytes
+        )
+
+    def test_tnn_ablation_runs_and_is_cheaper_but_weaker(
+        self, trained_neuroc, digits_small
+    ):
+        tnn = train_tnn(trained_neuroc.config, digits_small, epochs=25)
+        assert tnn.quantized_accuracy <= (
+            trained_neuroc.quantized_accuracy + 0.02
+        )
+        neuroc_size = deploy(trained_neuroc.quantized, "block")
+        tnn_size = deploy(tnn.quantized, "block")
+        saved = (
+            neuroc_size.program_memory.total_bytes
+            - tnn_size.program_memory.total_bytes
+        )
+        assert 0 < saved < 1024  # the w_j array: hundreds of bytes
+
+
+class TestInterruptSafetyStory:
+    def test_inference_state_fits_alongside_a_stack(self, trained_neuroc):
+        """§4.1: RAM must leave room to preserve inference state during
+        preemption.  Our deployment must leave a reasonable stack margin."""
+        deployed = DeployedModel(trained_neuroc.quantized, "block")
+        ram = deployed.memory.region("ram")
+        stack_budget = 2 * 1024
+        assert ram.size - ram.reserved >= stack_budget

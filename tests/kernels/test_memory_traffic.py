@@ -1,0 +1,90 @@
+"""Memory-traffic invariants, measured with the region access counters.
+
+§4.1 argues the encoding determines the access pattern.  These tests pin
+the pattern exactly: each kernel touches each input connection exactly
+once, streams its metadata arrays exactly once, and the block format's
+extra RAM traffic is precisely its multi-pass partial-sum parking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.codegen_sparse import encode_for_kernel, generate_sparse
+from repro.kernels.spec import make_neuroc_spec
+
+
+@pytest.fixture()
+def spec(rng):
+    adjacency = rng.choice(
+        [-1, 0, 1], (120, 10), p=[0.08, 0.84, 0.08]
+    ).astype(np.int8)
+    return make_neuroc_spec(
+        adjacency, rng.integers(-50, 50, 10).astype(np.int32),
+        rng.integers(30, 90, 10).astype(np.int16), shift=8,
+        act_in_width=2, act_out_width=2, relu=True,
+    )
+
+
+def _run(spec, fmt, rng, **kwargs):
+    image = generate_sparse(spec, fmt, **kwargs)
+    image.write_input(rng.integers(-40, 40, spec.n_in))
+    image.memory.reset_counters()
+    image.run()
+    return image
+
+
+@pytest.mark.parametrize("fmt", ["csc", "delta", "mixed"])
+def test_single_pass_formats_read_inputs_once_per_connection(
+    fmt, spec, rng
+):
+    image = _run(spec, fmt, rng)
+    ram = image.memory.region("ram")
+    nnz = int(np.count_nonzero(spec.ternary_matrix))
+    # Every non-zero connection loads its input exactly once; nothing
+    # else in RAM is read by these kernels.
+    assert ram.loads == nnz
+    # One output store per neuron.
+    assert ram.stores == spec.n_out
+
+
+def test_block_format_ram_traffic_is_input_plus_partial_sums(spec, rng):
+    encoding = encode_for_kernel(spec, "block", block_size=32)
+    image = _run(spec, "block", rng, block_size=32)
+    ram = image.memory.region("ram")
+    nnz = encoding.nnz
+    block_cols = encoding.n_blocks * spec.n_out
+    # Loads: one per connection + the partial-sum read-modify-write per
+    # (block, column) + the phase-3 read per column.
+    assert ram.loads == nnz + block_cols + spec.n_out
+    # Stores: phase-1 clear + per-(block, column) write-back + outputs.
+    assert ram.stores == spec.n_out + block_cols + spec.n_out
+
+
+@pytest.mark.parametrize("fmt", ["csc", "delta", "mixed", "block"])
+def test_flash_data_is_streamed_not_rescanned(fmt, spec, rng):
+    """Total flash bytes loaded may not exceed the stored connectivity
+    plus per-column tables — i.e. the kernel never re-reads its arrays."""
+    encoding = encode_for_kernel(spec, fmt)
+    image = _run(spec, fmt, rng)
+    flash = image.memory.region("flash")
+    tables = 4 * spec.n_out + 2 * spec.n_out          # bias + mult
+    budget = encoding.size_bytes() + tables
+    if fmt == "csc":
+        # CSC reads pointers[j] and pointers[j+1] per column: interior
+        # pointer entries are legitimately read twice.
+        budget += 2 * (spec.n_out + 1) * 2
+    assert flash.bytes_loaded <= budget
+
+
+def test_input_region_not_written_by_kernels(spec, rng):
+    """Kernels must never write the input buffer (the §4.1 static-buffer
+    discipline; also the regression guard for buffer overlap bugs)."""
+    for fmt in ("csc", "delta", "mixed", "block"):
+        image = generate_sparse(spec, fmt)
+        x = rng.integers(-40, 40, spec.n_in)
+        image.write_input(x)
+        image.run()
+        back = image.memory.read_array(
+            image.input_addr, spec.n_in, spec.act_in_width, signed=True
+        )
+        assert np.array_equal(back, x.astype(back.dtype)), fmt

@@ -1,0 +1,214 @@
+"""Interpreter semantics: ALU, memory, flags, branches, cycle accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.mcu.cpu import CPU, CycleCosts
+from repro.mcu.isa import Assembler, Reg
+from repro.mcu.memory import MemoryMap
+
+RAM = 0x2000_0000
+FLASH = 0x0800_0000
+
+
+def run(build, registers=None, costs=None, memory=None):
+    """Assemble via ``build(asm)`` and execute."""
+    asm = Assembler("t")
+    build(asm)
+    asm.halt()
+    memory = memory or MemoryMap.stm32()
+    return CPU(memory, costs=costs).run(asm.assemble(), registers), memory
+
+
+class TestAlu:
+    def test_movi_and_mov(self):
+        result, _ = run(lambda a: (a.movi(Reg.R0, 42), a.mov(Reg.R1, Reg.R0)))
+        assert result.reg(Reg.R1) == 42
+
+    def test_add_sub_wrap_to_32_bits(self):
+        def build(a):
+            a.movi(Reg.R0, 0x7FFF_FFFF)
+            a.addi(Reg.R1, Reg.R0, 1)       # overflow wraps
+            a.subi(Reg.R2, Reg.R1, 1)
+        result, _ = run(build)
+        assert result.reg(Reg.R1) == -(1 << 31)
+        assert result.reg(Reg.R2) == 0x7FFF_FFFF
+
+    def test_mul_keeps_low_32_bits_signed(self):
+        def build(a):
+            a.movi(Reg.R0, -3)
+            a.movi(Reg.R1, 7)
+            a.mul(Reg.R2, Reg.R0, Reg.R1)
+        result, _ = run(build)
+        assert result.reg(Reg.R2) == -21
+
+    def test_shifts(self):
+        def build(a):
+            a.movi(Reg.R0, -8)
+            a.asri(Reg.R1, Reg.R0, 2)   # arithmetic: -2
+            a.lsri(Reg.R2, Reg.R0, 28)  # logical on the wrapped pattern
+            a.movi(Reg.R3, 3)
+            a.lsli(Reg.R4, Reg.R3, 4)
+        result, _ = run(build)
+        assert result.reg(Reg.R1) == -2
+        assert result.reg(Reg.R2) == 0xF
+        assert result.reg(Reg.R4) == 48
+
+    def test_bitwise(self):
+        def build(a):
+            a.movi(Reg.R0, 0b1100)
+            a.movi(Reg.R1, 0b1010)
+            a.and_(Reg.R2, Reg.R0, Reg.R1)
+            a.orr(Reg.R3, Reg.R0, Reg.R1)
+            a.eor(Reg.R4, Reg.R0, Reg.R1)
+        result, _ = run(build)
+        assert result.reg(Reg.R2) == 0b1000
+        assert result.reg(Reg.R3) == 0b1110
+        assert result.reg(Reg.R4) == 0b0110
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "lhs,rhs,op_name,taken",
+        [
+            (1, 1, "beq", True),
+            (1, 2, "beq", False),
+            (1, 2, "bne", True),
+            (-5, 3, "blt", True),
+            (3, -5, "blt", False),
+            (3, 3, "bge", True),
+            (4, 3, "bgt", True),
+            (3, 3, "bgt", False),
+            (3, 3, "ble", True),
+            (2, 3, "ble", True),
+            (4, 3, "ble", False),
+        ],
+    )
+    def test_signed_conditions(self, lhs, rhs, op_name, taken):
+        def build(a):
+            a.movi(Reg.R0, lhs)
+            a.movi(Reg.R1, rhs)
+            a.movi(Reg.R2, 0)
+            a.cmp(Reg.R0, Reg.R1)
+            getattr(a, op_name)("skip")
+            a.movi(Reg.R2, 1)       # executed only when not taken
+            a.label("skip")
+        result, _ = run(build)
+        assert result.reg(Reg.R2) == (0 if taken else 1)
+
+    def test_blt_handles_subtraction_overflow(self):
+        # lhs - rhs overflows 32 bits; N != V must still mean lhs < rhs.
+        def build(a):
+            a.movi(Reg.R0, -(1 << 31))
+            a.movi(Reg.R1, (1 << 31) - 1)
+            a.movi(Reg.R2, 0)
+            a.cmp(Reg.R0, Reg.R1)
+            a.bge("skip")
+            a.movi(Reg.R2, 1)
+            a.label("skip")
+        result, _ = run(build)
+        assert result.reg(Reg.R2) == 1  # lhs < rhs, BGE not taken
+
+    def test_subsi_sets_flags_for_countdown(self):
+        def build(a):
+            a.movi(Reg.R0, 3)
+            a.movi(Reg.R1, 0)
+            a.label("loop")
+            a.addi(Reg.R1, Reg.R1, 10)
+            a.subsi(Reg.R0, Reg.R0, 1)
+            a.bgt("loop")
+        result, _ = run(build)
+        assert result.reg(Reg.R1) == 30
+
+
+class TestMemoryOps:
+    def test_load_widths_and_sign_extension(self):
+        memory = MemoryMap.stm32()
+        memory.write_array(RAM, np.array([-1, 100], dtype=np.int8))
+        memory.write_array(RAM + 4, np.array([-2], dtype=np.int16))
+
+        def build(a):
+            a.movi(Reg.R0, RAM)
+            a.ldrsb(Reg.R1, Reg.R0, 0)
+            a.ldrb(Reg.R2, Reg.R0, 0)
+            a.ldrsh(Reg.R3, Reg.R0, 4)
+            a.ldrh(Reg.R4, Reg.R0, 4)
+        result, _ = run(build, memory=memory)
+        assert result.reg(Reg.R1) == -1
+        assert result.reg(Reg.R2) == 0xFF
+        assert result.reg(Reg.R3) == -2
+        assert result.reg(Reg.R4) == 0xFFFE
+
+    def test_store_then_load_roundtrip(self):
+        def build(a):
+            a.movi(Reg.R0, RAM)
+            a.movi(Reg.R1, -123456)
+            a.str_(Reg.R1, Reg.R0, 0)
+            a.ldr(Reg.R2, Reg.R0, 0)
+        result, _ = run(build)
+        assert result.reg(Reg.R2) == -123456
+
+    def test_register_offset_addressing(self):
+        memory = MemoryMap.stm32()
+        memory.write_array(RAM, np.arange(10, dtype=np.int8))
+
+        def build(a):
+            a.movi(Reg.R0, RAM)
+            a.movi(Reg.R1, 7)
+            a.ldrsb(Reg.R2, Reg.R0, Reg.R1)
+        result, _ = run(build, memory=memory)
+        assert result.reg(Reg.R2) == 7
+
+    def test_store_to_flash_raises(self):
+        def build(a):
+            a.movi(Reg.R0, FLASH)
+            a.movi(Reg.R1, 1)
+            a.strb(Reg.R1, Reg.R0, 0)
+        from repro.errors import MemoryMapError
+        with pytest.raises(MemoryMapError, match="read-only"):
+            run(build)
+
+
+class TestCycleAccounting:
+    def test_costs_match_category_table(self):
+        costs = CycleCosts()
+
+        def build(a):
+            a.movi(Reg.R0, RAM)   # 1
+            a.movi(Reg.R1, 5)     # 1
+            a.str_(Reg.R1, Reg.R0, 0)  # 2
+            a.ldr(Reg.R2, Reg.R0, 0)   # 2
+            a.mul(Reg.R3, Reg.R1, Reg.R1)  # 1
+            a.cmpi(Reg.R1, 5)     # 1
+            a.beq("end")          # 3 taken
+            a.movi(Reg.R4, 9)
+            a.label("end")
+        result, _ = run(build, costs=costs)
+        # 1+1+2+2+1+1+3 + halt(1)
+        assert result.cycles == 12
+
+    def test_fetch_extra_charges_every_instruction(self):
+        def build(a):
+            a.movi(Reg.R0, 1)
+            a.movi(Reg.R1, 2)
+        base, _ = run(build)
+        slow, _ = run(build, costs=CycleCosts(fetch_extra=1))
+        assert slow.cycles == base.cycles + slow.instructions
+
+    def test_runaway_loop_detected(self):
+        def build(a):
+            a.label("forever")
+            a.b("forever")
+        asm = Assembler("runaway")
+        build(asm)
+        asm.halt()
+        cpu = CPU(MemoryMap.stm32(), max_instructions=1000)
+        with pytest.raises(ExecutionError, match="exceeded"):
+            cpu.run(asm.assemble())
+
+    def test_op_counts_recorded(self):
+        result, _ = run(lambda a: (a.movi(Reg.R0, 1), a.movi(Reg.R1, 2)))
+        from repro.mcu.isa import Op
+        assert result.op_counts[Op.MOVI] == 2
+        assert result.op_counts[Op.HALT] == 1

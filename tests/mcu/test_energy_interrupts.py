@@ -1,0 +1,131 @@
+"""Energy model and interrupt-preemption simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.kernels.codegen_sparse import count_sparse, generate_sparse
+from repro.kernels.opcount import OpCount
+from repro.kernels.spec import make_neuroc_spec
+from repro.mcu.board import STM32F072RB
+from repro.mcu.energy import (
+    STM32F0_ENERGY,
+    EnergyProfile,
+    battery_life,
+    inference_energy,
+)
+from repro.mcu.interrupts import (
+    EXCEPTION_ENTRY_CYCLES,
+    EXCEPTION_EXIT_CYCLES,
+    InterruptSource,
+    run_with_interrupts,
+    worst_case_latency_ms,
+)
+
+
+def _spec(rng, n_in=50, n_out=8):
+    adjacency = rng.choice([-1, 0, 1], (n_in, n_out),
+                           p=[0.1, 0.8, 0.1]).astype(np.int8)
+    return make_neuroc_spec(
+        adjacency, rng.integers(-40, 40, n_out).astype(np.int32),
+        rng.integers(30, 90, n_out).astype(np.int16), shift=8,
+        act_in_width=1, act_out_width=1, relu=True,
+    )
+
+
+class TestEnergyModel:
+    def test_energy_scales_with_cycles(self):
+        small = OpCount.block(alu=1000)
+        large = OpCount.block(alu=10_000)
+        e_small = inference_energy(small).energy_uj
+        e_large = inference_energy(large).energy_uj
+        assert e_large == pytest.approx(10 * e_small, rel=0.01)
+
+    def test_memory_heavy_workloads_cost_more(self):
+        cycles_as_alu = OpCount.block(alu=2000)
+        cycles_as_loads = OpCount.block(load=1000)  # same 2000 cycles
+        assert (
+            inference_energy(cycles_as_loads).energy_uj
+            > inference_energy(cycles_as_alu).energy_uj
+        )
+
+    def test_flat_model_recovered_at_reference_mix(self):
+        # One third memory cycles -> exactly the latency-proxy energy.
+        count = OpCount.block(alu=4000, load=500, store=500)  # no halt
+        report = inference_energy(count)
+        board = STM32F072RB
+        latency_s = report.cycles / board.clock_hz
+        flat_uj = STM32F0_ENERGY.active_power_mw(board) * latency_s * 1e3
+        assert report.energy_uj == pytest.approx(flat_uj, rel=1e-6)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyProfile(supply_volts=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyProfile(memory_cycle_weight=0.5)
+
+    def test_battery_life_decreases_with_rate(self):
+        count = OpCount(alu=100_000)
+        slow = battery_life(count, inferences_per_hour=60)
+        fast = battery_life(count, inferences_per_hour=3600)
+        assert fast.battery_life_days < slow.battery_life_days
+        assert slow.battery_life_days > 30  # a coin cell lasts months
+
+    def test_battery_life_validation(self):
+        with pytest.raises(ConfigurationError):
+            battery_life(OpCount(alu=10), inferences_per_hour=-1)
+
+
+class TestInterrupts:
+    def test_preemption_never_changes_the_output(self, rng):
+        spec = _spec(rng)
+        x = rng.integers(-50, 50, spec.n_in)
+        image_a = generate_sparse(spec, "mixed")
+        image_a.write_input(x)
+        clean = image_a.run()
+        baseline = image_a.read_output()
+
+        image_b = generate_sparse(spec, "mixed")
+        preempted = run_with_interrupts(
+            image_b, x, InterruptSource(period_cycles=500)
+        )
+        assert np.array_equal(preempted.output, baseline)
+        assert preempted.inference_cycles == clean.cycles
+
+    def test_interrupt_accounting(self, rng):
+        spec = _spec(rng)
+        x = rng.integers(-50, 50, spec.n_in)
+        source = InterruptSource(period_cycles=1000, handler_cycles=100)
+        image = generate_sparse(spec, "mixed")
+        run = run_with_interrupts(image, x, source)
+        per_event = (
+            EXCEPTION_ENTRY_CYCLES + 100 + EXCEPTION_EXIT_CYCLES
+        )
+        assert run.interrupt_count == run.inference_cycles // 1000
+        assert run.interrupt_cycles == run.interrupt_count * per_event
+        assert run.total_cycles == (
+            run.inference_cycles + run.interrupt_cycles
+        )
+        assert run.latency_inflation >= 1.0
+
+    def test_latency_inflation_bounded_by_worst_case(self, rng):
+        spec = _spec(rng)
+        x = rng.integers(-50, 50, spec.n_in)
+        source = InterruptSource(period_cycles=700)
+        image = generate_sparse(spec, "mixed")
+        run = run_with_interrupts(image, x, source)
+        bound = worst_case_latency_ms(run.inference_cycles, source)
+        assert run.latency_ms <= bound
+
+    def test_stack_exhaustion_detected(self, rng):
+        spec = _spec(rng)
+        x = rng.integers(-50, 50, spec.n_in)
+        image = generate_sparse(spec, "mixed")
+        ram = image.memory.region("ram")
+        ram.reserved = ram.size  # simulate a RAM-full deployment
+        with pytest.raises(ExecutionError, match="stack"):
+            run_with_interrupts(image, x, InterruptSource(500))
+
+    def test_invalid_source(self):
+        with pytest.raises(ConfigurationError):
+            InterruptSource(period_cycles=0)

@@ -1,0 +1,68 @@
+"""Intermittent execution: correctness under any power schedule."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.artifact import DeployedModel
+from repro.errors import ConfigurationError, ExecutionError
+from repro.mcu.intermittent import (
+    IntermittentDeployment,
+    PowerBudget,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment(trained_neuroc):
+    deployed = DeployedModel(trained_neuroc.quantized, "block")
+    return IntermittentDeployment(deployed)
+
+
+class TestIntermittentExecution:
+    def test_generous_budget_completes_in_one_power_cycle(
+        self, deployment, digits_small
+    ):
+        budget = PowerBudget(cycles_per_charge=10_000_000)
+        run = deployment.run(digits_small.x_test[0], budget)
+        assert run.completed
+        assert run.power_cycles_used == 1
+        assert run.wasted_cycles == 0
+
+    def test_tight_budget_needs_multiple_charges(
+        self, deployment, digits_small
+    ):
+        minimum = deployment.minimum_charge_cycles()
+        run = deployment.run(
+            digits_small.x_test[0], PowerBudget(minimum)
+        )
+        assert run.completed
+        assert run.power_cycles_used >= 2
+
+    def test_results_identical_across_power_schedules(
+        self, deployment, digits_small
+    ):
+        x = digits_small.x_test[3]
+        generous = deployment.run(x, PowerBudget(10_000_000))
+        tight = deployment.run(
+            x, PowerBudget(deployment.minimum_charge_cycles())
+        )
+        assert np.array_equal(generous.logits, tight.logits)
+        assert generous.label == tight.label
+
+    def test_overhead_accounting(self, deployment, digits_small):
+        run = deployment.run(
+            digits_small.x_test[0],
+            PowerBudget(deployment.minimum_charge_cycles() * 2),
+        )
+        assert run.total_cycles == (
+            run.compute_cycles + run.checkpoint_cycles + run.wasted_cycles
+        )
+        assert run.checkpoint_cycles > 0
+
+    def test_starvation_detected(self, deployment, digits_small):
+        too_small = deployment.minimum_charge_cycles() - 1
+        with pytest.raises(ExecutionError, match="forward progress"):
+            deployment.run(digits_small.x_test[0], PowerBudget(too_small))
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(0)

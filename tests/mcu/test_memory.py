@@ -1,0 +1,119 @@
+"""Memory map, permissions, counters, and the shared-cursor allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryMapError
+from repro.mcu.memory import Allocator, MemoryMap, Region
+
+RAM = 0x2000_0000
+FLASH = 0x0800_0000
+
+
+class TestMemoryMap:
+    def test_stm32_layout(self):
+        memory = MemoryMap.stm32(flash_kb=128, ram_kb=16)
+        assert memory.region("flash").base == FLASH
+        assert memory.region("flash").size == 128 * 1024
+        assert memory.region("ram").writable
+        assert not memory.region("flash").writable
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(MemoryMapError, match="overlap"):
+            MemoryMap(
+                [
+                    Region("a", 0, 100, writable=True),
+                    Region("b", 50, 100, writable=True),
+                ]
+            )
+
+    def test_unmapped_access_raises(self):
+        memory = MemoryMap.stm32()
+        with pytest.raises(MemoryMapError, match="unmapped"):
+            memory.load(0xDEAD_0000, 4, signed=False)
+
+    def test_access_straddling_region_end_raises(self):
+        memory = MemoryMap.stm32(ram_kb=1)
+        end = memory.region("ram").end
+        with pytest.raises(MemoryMapError):
+            memory.load(end - 2, 4, signed=False)
+
+    def test_little_endian_load_store(self):
+        memory = MemoryMap.stm32()
+        memory.store(RAM, 4, 0x11223344)
+        assert memory.load(RAM, 1, signed=False) == 0x44
+        assert memory.load(RAM + 3, 1, signed=False) == 0x11
+
+    def test_signed_load(self):
+        memory = MemoryMap.stm32()
+        memory.store(RAM, 2, 0xFFFF)
+        assert memory.load(RAM, 2, signed=True) == -1
+        assert memory.load(RAM, 2, signed=False) == 0xFFFF
+
+    def test_store_to_readonly_region_raises(self):
+        memory = MemoryMap.stm32()
+        with pytest.raises(MemoryMapError, match="read-only"):
+            memory.store(FLASH, 1, 0)
+
+    def test_counters_track_loads_and_stores(self):
+        memory = MemoryMap.stm32()
+        memory.store(RAM, 4, 1)
+        memory.load(RAM, 2, signed=False)
+        ram = memory.region("ram")
+        assert (ram.loads, ram.stores) == (1, 1)
+        assert (ram.bytes_loaded, ram.bytes_stored) == (2, 4)
+        memory.reset_counters()
+        assert ram.loads == ram.stores == 0
+
+    def test_write_array_read_array_roundtrip(self):
+        memory = MemoryMap.stm32()
+        data = np.array([-3, 0, 7, 127, -128], dtype=np.int8)
+        memory.write_array(RAM, data)
+        back = memory.read_array(RAM, len(data), 1, signed=True)
+        assert np.array_equal(back, data)
+
+    def test_write_array_into_flash_allowed_for_setup(self):
+        # Setup-time placement bypasses the read-only rule (flashing).
+        memory = MemoryMap.stm32()
+        memory.write_array(FLASH, np.array([1, 2], dtype=np.uint16))
+        assert memory.load(FLASH, 2, signed=False) == 1
+
+
+class TestAllocator:
+    def test_sequential_placement_with_alignment(self):
+        memory = MemoryMap.stm32()
+        alloc = Allocator(memory, "ram")
+        first = alloc.reserve(3, align=1)
+        second = alloc.reserve(4, align=4)
+        assert first == RAM
+        assert second == RAM + 4  # aligned up past the 3 bytes
+
+    def test_two_allocators_share_a_cursor(self):
+        # The regression behind multi-layer deployment: independently
+        # created allocators must never hand out overlapping addresses.
+        memory = MemoryMap.stm32()
+        a = Allocator(memory, "ram").reserve(16)
+        b = Allocator(memory, "ram").reserve(16)
+        assert b >= a + 16
+
+    def test_exhaustion_raises(self):
+        memory = MemoryMap.stm32(ram_kb=1)
+        alloc = Allocator(memory, "ram")
+        with pytest.raises(MemoryMapError, match="exhausted"):
+            alloc.reserve(2048)
+
+    def test_place_copies_data(self):
+        memory = MemoryMap.stm32()
+        alloc = Allocator(memory, "ram")
+        data = np.array([5, -6, 7], dtype=np.int16)
+        addr = alloc.place(data)
+        assert np.array_equal(
+            memory.read_array(addr, 3, 2, signed=True), data
+        )
+
+    def test_used_and_free_bytes(self):
+        memory = MemoryMap.stm32(ram_kb=1)
+        alloc = Allocator(memory, "ram")
+        alloc.reserve(100, align=1)
+        assert alloc.used_bytes == 100
+        assert alloc.free_bytes == 1024 - 100
