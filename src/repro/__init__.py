@@ -12,6 +12,7 @@ pipeline the paper describes plus every substrate its evaluation needs:
 - :mod:`repro.encodings` — the four sparse connectivity formats of §4.2
 - :mod:`repro.kernels`   — reference, generated-ISA, and analytical kernels
 - :mod:`repro.mcu`       — Cortex-M0 cost-model simulator (miniature ISA)
+- :mod:`repro.analysis`  — static kernel verifier (CFG, taint, WCET)
 - :mod:`repro.deploy`    — flash sizing, simulated flashing, C export
 - :mod:`repro.datasets`  — procedural stand-ins for the paper's datasets
 - :mod:`repro.experiments` — one module per evaluation table/figure

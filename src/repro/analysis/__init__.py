@@ -1,0 +1,70 @@
+"""Static verification of miniature-ISA kernels (the verifier framework).
+
+The passes that make "verified by construction" concrete for deployed
+Neuro-C models: CFG construction and structural validation
+(:mod:`~repro.analysis.cfg`), a shared fixpoint-dataflow engine
+(:mod:`~repro.analysis.dataflow`), the §4.1 discipline taint pass
+(:mod:`~repro.analysis.taint`), definite register initialization
+(:mod:`~repro.analysis.initreg`), abstract execution
+(:mod:`~repro.analysis.absexec`), memory safety
+(:mod:`~repro.analysis.memsafe`), static WCET bounds
+(:mod:`~repro.analysis.wcet`), and the aggregate report
+(:mod:`~repro.analysis.report`).
+"""
+
+from repro.analysis.absexec import AbstractTrace, abstract_execute
+from repro.analysis.cfg import CFG, BasicBlock, Loop, build_cfg
+from repro.analysis.dataflow import instr_reads, instr_writes, run_forward
+from repro.analysis.initreg import (
+    InitRegResult,
+    UninitializedRead,
+    check_initialized_reads,
+)
+from repro.analysis.memsafe import MemorySafetyResult, check_memory_safety
+from repro.analysis.report import (
+    LayerVerification,
+    ModelVerificationReport,
+    VerificationReport,
+    verify_deployed_model,
+    verify_kernel_image,
+    verify_program,
+)
+from repro.analysis.taint import (
+    TAINTED_FLAGS,
+    TAINTED_STORE_ADDRESS,
+    AnalysisResult,
+    TaintViolation,
+    verify_static_control_flow,
+)
+from repro.analysis.wcet import LoopBound, WCETResult, infer_wcet
+
+__all__ = [
+    "AbstractTrace",
+    "abstract_execute",
+    "CFG",
+    "BasicBlock",
+    "Loop",
+    "build_cfg",
+    "instr_reads",
+    "instr_writes",
+    "run_forward",
+    "InitRegResult",
+    "UninitializedRead",
+    "check_initialized_reads",
+    "MemorySafetyResult",
+    "check_memory_safety",
+    "LayerVerification",
+    "ModelVerificationReport",
+    "VerificationReport",
+    "verify_deployed_model",
+    "verify_kernel_image",
+    "verify_program",
+    "TAINTED_FLAGS",
+    "TAINTED_STORE_ADDRESS",
+    "AnalysisResult",
+    "TaintViolation",
+    "verify_static_control_flow",
+    "LoopBound",
+    "WCETResult",
+    "infer_wcet",
+]

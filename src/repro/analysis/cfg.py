@@ -1,0 +1,240 @@
+"""Control-flow graphs over miniature-ISA programs.
+
+The CFG is the substrate every verifier pass stands on: basic blocks,
+validated edges, reachability, dominators, and natural-loop detection.
+Construction doubles as structural verification — a program with a branch
+into nowhere, code that falls off the end, or an interior ``HALT``-less
+path is rejected with a :class:`~repro.errors.VerificationError` *before*
+any dataflow pass runs, so the passes themselves can assume a well-formed
+graph.
+
+Generated kernels always produce reducible graphs (count-down loops and
+forward skip guards), but nothing here assumes reducibility: back edges
+are identified through dominators, so hand-written programs are analysed
+just as soundly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.mcu.isa import BRANCH_OPS, Op, Program
+
+
+def instr_successors(program: Program, index: int) -> tuple[int, ...]:
+    """Instruction-level successor indices (empty for ``HALT``)."""
+    instr = program.instructions[index]
+    if instr.op is Op.HALT:
+        return ()
+    if instr.op in BRANCH_OPS:
+        target = int(instr.operands[0])
+        if instr.op is Op.B:
+            return (target,)
+        return (index + 1, target)
+    return (index + 1,)
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start``/``end`` are inclusive instruction indices; ``successors``
+    and ``predecessors`` are *block* ids.
+    """
+
+    id: int
+    start: int
+    end: int
+    successors: tuple[int, ...]
+    predecessors: tuple[int, ...]
+
+    @property
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end + 1)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: ``back_edge`` is (latch block, header block)."""
+
+    header: int                    # block id
+    back_edge: tuple[int, int]     # (tail block id, header block id)
+    body: frozenset[int]           # block ids, header included
+    branch_index: int              # instruction index of the back branch
+
+
+@dataclass(frozen=True)
+class CFG:
+    """A validated control-flow graph plus derived structure."""
+
+    program: Program
+    blocks: tuple[BasicBlock, ...]
+    block_of: tuple[int, ...]          # instruction index -> block id
+    reachable: frozenset[int]          # reachable block ids (from block 0)
+    loops: tuple[Loop, ...]
+
+    @property
+    def unreachable_instructions(self) -> tuple[int, ...]:
+        """Instruction indices in blocks no path from entry reaches."""
+        dead: list[int] = []
+        for block in self.blocks:
+            if block.id not in self.reachable:
+                dead.extend(block.instruction_indices)
+        return tuple(dead)
+
+    def block_containing(self, index: int) -> BasicBlock:
+        return self.blocks[self.block_of[index]]
+
+
+def _validate(program: Program) -> None:
+    n = len(program.instructions)
+    if n == 0:
+        raise VerificationError(
+            f"program {program.name!r} is empty", pass_name="cfg"
+        )
+    for i, instr in enumerate(program.instructions):
+        if instr.op in BRANCH_OPS:
+            target = instr.operands[0]
+            if not isinstance(target, int) or not 0 <= target < n:
+                raise VerificationError(
+                    f"instruction {i} ({instr!r}) branches to invalid "
+                    f"target {target!r} (program has {n} instructions)",
+                    instruction_index=i, pass_name="cfg",
+                )
+    last = program.instructions[-1]
+    if last.op is not Op.HALT and last.op is not Op.B:
+        raise VerificationError(
+            f"instruction {n - 1} ({last!r}) falls through past the end "
+            f"of {program.name!r}",
+            instruction_index=n - 1, pass_name="cfg",
+        )
+
+
+def _leaders(program: Program) -> list[int]:
+    leaders = {0}
+    for i, instr in enumerate(program.instructions):
+        if instr.op in BRANCH_OPS:
+            leaders.add(int(instr.operands[0]))
+            if i + 1 < len(program.instructions):
+                leaders.add(i + 1)
+        elif instr.op is Op.HALT and i + 1 < len(program.instructions):
+            leaders.add(i + 1)
+    return sorted(leaders)
+
+
+def _dominators(
+    blocks: tuple[BasicBlock, ...], reachable: frozenset[int]
+) -> dict[int, frozenset[int]]:
+    """Iterative dominator sets over the reachable subgraph."""
+    all_reachable = frozenset(reachable)
+    dom: dict[int, frozenset[int]] = {
+        b: all_reachable for b in all_reachable
+    }
+    dom[0] = frozenset({0})
+    changed = True
+    while changed:
+        changed = False
+        for block_id in sorted(all_reachable - {0}):
+            preds = [
+                p for p in blocks[block_id].predecessors
+                if p in all_reachable
+            ]
+            if preds:
+                new = frozenset.intersection(*(dom[p] for p in preds))
+            else:
+                new = frozenset()
+            new = new | {block_id}
+            if new != dom[block_id]:
+                dom[block_id] = new
+                changed = True
+    return dom
+
+
+def _natural_loops(
+    blocks: tuple[BasicBlock, ...],
+    reachable: frozenset[int],
+    dom: dict[int, frozenset[int]],
+) -> tuple[Loop, ...]:
+    loops: list[Loop] = []
+    for block in blocks:
+        if block.id not in reachable:
+            continue
+        for succ in block.successors:
+            if succ in dom[block.id]:   # back edge: tail -> dominator
+                # Header goes in first so the walk never crosses it
+                # (a self-loop's body is just the header itself).
+                body = {succ}
+                stack = []
+                if block.id != succ:
+                    body.add(block.id)
+                    stack.append(block.id)
+                while stack:
+                    node = stack.pop()
+                    for pred in blocks[node].predecessors:
+                        if pred in reachable and pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append(Loop(
+                    header=succ,
+                    back_edge=(block.id, succ),
+                    body=frozenset(body),
+                    branch_index=block.end,
+                ))
+    loops.sort(key=lambda lp: (lp.header, lp.back_edge))
+    return tuple(loops)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Build and structurally validate the CFG of ``program``.
+
+    Raises :class:`~repro.errors.VerificationError` for invalid branch
+    targets or fallthrough past the last instruction.  Unreachable code is
+    *recorded*, not raised — the report layer decides whether it is fatal.
+    """
+    _validate(program)
+    leaders = _leaders(program)
+    n = len(program.instructions)
+
+    starts = leaders
+    ends = [s - 1 for s in starts[1:]] + [n - 1]
+    block_of = [0] * n
+    for block_id, (start, end) in enumerate(zip(starts, ends)):
+        for i in range(start, end + 1):
+            block_of[i] = block_id
+
+    succ_sets: list[tuple[int, ...]] = []
+    for start, end in zip(starts, ends):
+        succ_sets.append(tuple(sorted({
+            block_of[s] for s in instr_successors(program, end)
+        })))
+    pred_sets: list[list[int]] = [[] for _ in starts]
+    for block_id, successors in enumerate(succ_sets):
+        for succ in successors:
+            pred_sets[succ].append(block_id)
+
+    blocks = tuple(
+        BasicBlock(
+            id=block_id, start=start, end=end,
+            successors=succ_sets[block_id],
+            predecessors=tuple(sorted(pred_sets[block_id])),
+        )
+        for block_id, (start, end) in enumerate(zip(starts, ends))
+    )
+
+    reachable: set[int] = set()
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(blocks[node].successors)
+    reachable_frozen = frozenset(reachable)
+
+    dom = _dominators(blocks, reachable_frozen)
+    loops = _natural_loops(blocks, reachable_frozen, dom)
+    return CFG(
+        program=program, blocks=blocks, block_of=tuple(block_of),
+        reachable=reachable_frozen, loops=loops,
+    )

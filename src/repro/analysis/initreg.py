@@ -1,0 +1,85 @@
+"""Uninitialized-register-read detection.
+
+A *must* dataflow analysis on the shared fixpoint engine: the state at an
+instruction is the set of registers **definitely** written on *every*
+path from the program entry.  Reading a register outside that set means
+at least one path reaches the read without a prior write — on real
+hardware that consumes whatever the register held before the kernel
+started, making the result (and possibly addresses) depend on ambient
+state.  Generated kernels initialize every register they touch with
+``MOVI``/``MOV`` preambles; this pass turns that convention into a
+checked guarantee.
+
+``initialized`` seeds the entry state for calling conventions that pass
+arguments in registers (the kernels here pass nothing: memory addresses
+are baked in at generation time, so the default is the empty set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.analysis.dataflow import instr_reads, instr_writes, run_forward
+from repro.mcu.isa import Program, Reg
+
+
+@dataclass(frozen=True)
+class UninitializedRead:
+    """One register read that some path reaches without a prior write."""
+
+    index: int
+    register: Reg
+    instruction: str
+
+    def __str__(self) -> str:
+        return (
+            f"instruction {self.index} ({self.instruction}) reads "
+            f"{self.register!r} before any write"
+        )
+
+
+@dataclass(frozen=True)
+class InitRegResult:
+    """Outcome of the definite-initialization check."""
+
+    violations: tuple[UninitializedRead, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def require_clean(self) -> None:
+        if self.violations:
+            first = self.violations[0]
+            raise VerificationError(
+                "program reads uninitialized registers: "
+                + "; ".join(str(v) for v in self.violations),
+                instruction_index=first.index,
+                pass_name="initreg",
+            )
+
+
+def check_initialized_reads(
+    program: Program, initialized: frozenset[Reg] = frozenset()
+) -> InitRegResult:
+    """Flag every register read not dominated by a write."""
+    found: dict[tuple[int, Reg], UninitializedRead] = {}
+
+    def transfer(index: int, instr, state: frozenset) -> frozenset:
+        for reg in instr_reads(instr):
+            if reg not in state:
+                found.setdefault(
+                    (index, reg),
+                    UninitializedRead(index, reg, repr(instr)),
+                )
+        writes = instr_writes(instr)
+        return state | frozenset(writes) if writes else state
+
+    run_forward(
+        program, frozenset(initialized), transfer,
+        lambda a, b: a & b,     # must-analysis: intersection at joins
+    )
+    return InitRegResult(tuple(
+        found[key] for key in sorted(found)
+    ))

@@ -1,0 +1,71 @@
+"""Memory-safety verdict: every access provably inside the board map.
+
+This pass interprets the evidence an abstract execution gathered
+(:mod:`repro.analysis.absexec`): because kernel control flow and
+addressing are input-independent, the trace's per-instruction address
+ranges are the *exact* value ranges of the pointer registers at each
+load/store — so "every observed access is inside a mapped region with
+the right permissions" is a proof, not a sample.
+
+The result carries the per-instruction ranges (useful in reports: "the
+weight loop's ``LDRSB`` touches flash ``0x08000040..0x080000ff``") and
+any violations, each naming the instruction index so a failing deploy
+can point straight at the offending access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.analysis.absexec import AbstractTrace, AccessRange, AccessViolation
+
+
+@dataclass(frozen=True)
+class MemorySafetyResult:
+    """Outcome of the memory-safety pass."""
+
+    violations: tuple[AccessViolation, ...]
+    accesses: tuple[AccessRange, ...]   # per-instruction, index-sorted
+    completed: bool   # abstract execution reached HALT
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.violations
+
+    @property
+    def loads_checked(self) -> int:
+        return sum(a.count for a in self.accesses if a.kind == "load")
+
+    @property
+    def stores_checked(self) -> int:
+        return sum(a.count for a in self.accesses if a.kind == "store")
+
+    def require_clean(self) -> None:
+        if self.ok:
+            return
+        if self.violations:
+            first = self.violations[0]
+            raise VerificationError(
+                "program fails memory-safety verification: "
+                + "; ".join(str(v) for v in self.violations),
+                instruction_index=first.index,
+                pass_name="memsafe",
+            )
+        raise VerificationError(
+            "memory-safety verification could not cover the program "
+            "(abstract execution did not complete)",
+            pass_name="memsafe",
+        )
+
+
+def check_memory_safety(trace: AbstractTrace) -> MemorySafetyResult:
+    """Summarize the trace's access evidence as a safety verdict."""
+    accesses = tuple(
+        trace.accesses[index] for index in sorted(trace.accesses)
+    )
+    return MemorySafetyResult(
+        violations=trace.memory_violations,
+        accesses=accesses,
+        completed=trace.halted,
+    )

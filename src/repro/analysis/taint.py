@@ -1,0 +1,214 @@
+"""The §4.1 execution-discipline verifier (taint pass).
+
+The paper requires inference routines with "static control flow, with
+fixed loop bounds and no data-dependent branching".  Our cost model's
+input-independence rests on that property, so this pass *proves* it per
+program instead of assuming it: a taint analysis over register dataflow,
+run on the shared fixpoint engine (:mod:`repro.analysis.dataflow`).
+
+Two taint lattices propagate:
+
+- **data taint** — the register may hold a value derived from activation
+  data (the input buffer or other caller-declared tainted regions),
+- **pointer taint** — the register may hold an *address within* a tainted
+  region (so a load through it yields tainted data; Fig. 4's pointer-bump
+  traversal makes this the common addressing mode).
+
+Loads from flash (weights, indices, counts) are untainted: they are
+compile-time constants of the deployed model, so loop bounds driven by
+them are still input-independent.  Two behaviours are rejected:
+
+1. a flag-setting instruction (``CMP``/``CMPI``/``SUBSI``) observing a
+   data-tainted register — a subsequent branch would be data-dependent;
+2. a store whose *address* (base or index register) is data-tainted —
+   the store's target would vary with the input, breaking the
+   input-independent memory-traffic guarantee even though control flow
+   stays static.
+
+Storing tainted *values* through untainted addresses is, of course, fine:
+that is what writing activations is.  The analysis is a conservative
+fixpoint over all paths, so a pass is a proof; a failure pinpoints the
+offending instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.analysis.dataflow import (
+    ALU_DST_SRC,
+    FLAG_SOURCES,
+    run_forward,
+)
+from repro.mcu.isa import (
+    BRANCH_OPS,
+    LOAD_OPS,
+    Op,
+    Program,
+    STORE_OPS,
+)
+
+#: Violation kinds.
+TAINTED_FLAGS = "tainted-flags"
+TAINTED_STORE_ADDRESS = "tainted-store-address"
+
+
+@dataclass(frozen=True)
+class TaintViolation:
+    """An instruction that broke the §4.1 discipline."""
+
+    index: int
+    instruction: str
+    kind: str = TAINTED_FLAGS
+
+    def __str__(self) -> str:
+        if self.kind == TAINTED_STORE_ADDRESS:
+            return (
+                f"data-dependent store address at instruction "
+                f"{self.index}: {self.instruction}"
+            )
+        return (
+            f"tainted flags at instruction {self.index}: {self.instruction}"
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of the §4.1 discipline check."""
+
+    control_flow_is_input_independent: bool
+    violations: tuple[TaintViolation, ...]
+    tainted_store_sites: int   # stores of input-derived data (the outputs)
+    store_addresses_are_input_independent: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.control_flow_is_input_independent
+            and self.store_addresses_are_input_independent
+        )
+
+    def require_clean(self) -> None:
+        if not self.ok:
+            first = self.violations[0]
+            raise VerificationError(
+                "program violates the static-control-flow discipline: "
+                + "; ".join(str(v) for v in self.violations),
+                instruction_index=first.index,
+                pass_name="taint",
+            )
+
+
+@dataclass(frozen=True)
+class _State:
+    data: frozenset[int]      # registers holding input-derived values
+    pointer: frozenset[int]   # registers addressing a tainted region
+
+    def join(self, other: "_State") -> "_State":
+        return _State(self.data | other.data, self.pointer | other.pointer)
+
+
+def verify_static_control_flow(
+    program: Program,
+    input_addr: int,
+    input_bytes: int,
+    tainted_regions: tuple[tuple[int, int], ...] = (),
+) -> AnalysisResult:
+    """Prove that neither branches nor store addresses depend on input.
+
+    ``tainted_regions`` adds address ranges whose contents are also
+    input-derived (e.g. the block kernel's partial-sum buffer, or a
+    chained layer's intermediate activation buffers).
+    """
+    regions = ((input_addr, input_addr + input_bytes),) + tuple(
+        tainted_regions
+    )
+
+    def constant_points_into_taint(value: int) -> bool:
+        return any(lo <= value < hi for lo, hi in regions)
+
+    violations: dict[tuple[int, str], TaintViolation] = {}
+    tainted_store_sites: set[int] = set()
+
+    def record(index: int, instr, kind: str) -> None:
+        violations.setdefault(
+            (index, kind), TaintViolation(index, repr(instr), kind)
+        )
+
+    def transfer(index: int, instr, state: _State) -> _State:
+        op = instr.op
+        ops = instr.operands
+        data = set(state.data)
+        pointer = set(state.pointer)
+
+        if op is Op.HALT or op in BRANCH_OPS:
+            return state
+        if op is Op.MOVI:
+            dst, value = ops[0], int(ops[1])
+            data.discard(dst)
+            if constant_points_into_taint(value):
+                pointer.add(dst)
+            else:
+                pointer.discard(dst)
+        elif op in ALU_DST_SRC:
+            sources = ALU_DST_SRC[op]
+            dst = ops[0]
+            if op in FLAG_SOURCES and any(
+                ops[i] in data for i in FLAG_SOURCES[op]
+            ):
+                record(index, instr, TAINTED_FLAGS)
+            if any(ops[i] in data for i in sources):
+                data.add(dst)
+            else:
+                data.discard(dst)
+            # Pointer arithmetic keeps pointing into the region.
+            if any(ops[i] in pointer for i in sources):
+                pointer.add(dst)
+            else:
+                pointer.discard(dst)
+        elif op in (Op.CMP, Op.CMPI):
+            if any(ops[i] in data for i in FLAG_SOURCES[op]):
+                record(index, instr, TAINTED_FLAGS)
+        elif op in LOAD_OPS:
+            dst, base = ops[0], ops[1]
+            loads_tainted = (
+                base in pointer
+                or base in data
+                or (instr.offset_is_reg and ops[2] in pointer)
+            )
+            if loads_tainted:
+                data.add(dst)
+            else:
+                data.discard(dst)
+            pointer.discard(dst)
+        elif op in STORE_OPS:
+            address_regs = [ops[1]]
+            if instr.offset_is_reg:
+                address_regs.append(ops[2])
+            if any(r in data for r in address_regs):
+                record(index, instr, TAINTED_STORE_ADDRESS)
+            if ops[0] in data:
+                tainted_store_sites.add(index)
+        return _State(frozenset(data), frozenset(pointer))
+
+    run_forward(
+        program,
+        _State(frozenset(), frozenset()),
+        transfer,
+        lambda a, b: a.join(b),
+    )
+
+    ordered = tuple(
+        violations[key] for key in sorted(violations)
+    )
+    flag_clean = not any(v.kind == TAINTED_FLAGS for v in ordered)
+    store_clean = not any(
+        v.kind == TAINTED_STORE_ADDRESS for v in ordered
+    )
+    return AnalysisResult(
+        control_flow_is_input_independent=flag_clean,
+        violations=ordered,
+        tainted_store_sites=len(tainted_store_sites),
+        store_addresses_are_input_independent=store_clean,
+    )

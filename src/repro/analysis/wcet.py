@@ -1,0 +1,174 @@
+"""Static worst-case execution time (WCET) over verified kernels.
+
+For programs that pass the §4.1 discipline check there is exactly one
+execution path, so the abstract trace's cycle total — accumulated with
+the interpreter's own :class:`~repro.mcu.cpu.CycleCosts` — is a sound
+*and exact* WCET bound: ``measured == bound`` on every input.  This
+module turns that trace into a structured result, attaching loop
+structure from the CFG so reports can say *why* the bound is what it is
+("outer loop: 48 iterations of the SUBSI/BGT countdown on R11 ...").
+
+Loop idioms recognized (the two shapes the code generators emit):
+
+- **countdown** — ``SUBSI rX, rX, step`` immediately feeding the back
+  branch (``BGT``/``BNE``/``BGE``), with no other write to ``rX`` in
+  the loop body;
+- **countup** — ``CMP rX, rlimit`` feeding ``BLT``/``BLE``/``BNE``,
+  where ``rX`` takes a positive ``ADDI`` step and the limit register is
+  loop-invariant.
+
+Loops outside these idioms still get trip counts from the trace (the
+branch statistics are exhaustive), they are just labelled ``unknown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.analysis.absexec import AbstractTrace
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import instr_writes
+from repro.mcu.isa import Op, Reg
+
+_COUNTDOWN_BRANCHES = (Op.BGT, Op.BNE, Op.BGE)
+_COUNTUP_BRANCHES = (Op.BLT, Op.BLE, Op.BNE)
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """One loop with its inferred iteration bound."""
+
+    header_index: int        # first instruction of the loop header block
+    branch_index: int        # the back-edge branch instruction
+    idiom: str               # "countdown" | "countup" | "unknown"
+    counter: Reg | None
+    step: int | None
+    trip_bound: int          # max iterations per entry, from the trace
+    total_iterations: int    # iterations across the whole execution
+
+    def __str__(self) -> str:
+        shape = self.idiom
+        if self.counter is not None:
+            shape += f" on {self.counter!r}"
+            if self.step:
+                shape += f" (step {self.step})"
+        return (
+            f"loop at instruction {self.header_index} "
+            f"(back branch {self.branch_index}): {shape}, "
+            f"<= {self.trip_bound} iterations per entry, "
+            f"{self.total_iterations} total"
+        )
+
+
+@dataclass(frozen=True)
+class WCETResult:
+    """Static cycle bound plus the loop structure that produced it."""
+
+    cycle_bound: int | None   # None when the trace did not complete
+    loops: tuple[LoopBound, ...]
+    completed: bool
+    failure: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and self.cycle_bound is not None
+
+    def require_bound(self) -> int:
+        if not self.ok:
+            raise VerificationError(
+                "no static cycle bound: "
+                + (self.failure or "abstract execution did not complete"),
+                pass_name="wcet",
+            )
+        return self.cycle_bound   # type: ignore[return-value]
+
+
+def _classify_loop(cfg: CFG, loop, trace: AbstractTrace) -> LoopBound:
+    program = cfg.program
+    instructions = program.instructions
+    header_block = cfg.blocks[loop.header]
+    branch_index = loop.branch_index
+    branch_op = instructions[branch_index].op
+    body_indices = [
+        i for block_id in loop.body
+        for i in cfg.blocks[block_id].instruction_indices
+    ]
+
+    idiom, counter, step = "unknown", None, None
+    # The flag-setter feeding the back branch: nearest SUBSI/CMP/CMPI
+    # walking backwards through the loop body (pointer bumps may sit
+    # between it and the branch).
+    body_set = set(body_indices)
+    prev = None
+    probe_index = branch_index - 1
+    while probe_index in body_set:
+        candidate = instructions[probe_index]
+        if candidate.op in (Op.SUBSI, Op.CMP, Op.CMPI):
+            prev = candidate
+            break
+        probe_index -= 1
+    if prev is not None and prev.op is Op.SUBSI:
+        dst, src, imm = prev.operands
+        if (
+            dst == src and imm > 0
+            and branch_op in _COUNTDOWN_BRANCHES
+        ):
+            other_writes = sum(
+                1 for i in body_indices
+                if i != probe_index
+                and dst in instr_writes(instructions[i])
+            )
+            if other_writes == 0:
+                idiom, counter, step = "countdown", Reg(dst), int(imm)
+    elif prev is not None and prev.op is Op.CMP:
+        probe, limit = prev.operands
+        if branch_op in _COUNTUP_BRANCHES:
+            limit_written = any(
+                limit in instr_writes(instructions[i])
+                for i in body_indices
+            )
+            steps = [
+                int(instructions[i].operands[2])
+                for i in body_indices
+                if instructions[i].op is Op.ADDI
+                and instructions[i].operands[0] == probe
+                and instructions[i].operands[1] == probe
+                and int(instructions[i].operands[2]) > 0
+            ]
+            if not limit_written and len(steps) == 1:
+                idiom, counter, step = "countup", Reg(probe), steps[0]
+
+    stats = trace.branches.get(branch_index)
+    if stats is None:
+        trip_bound = total = 0
+    else:
+        trip_bound = stats.max_consecutive_taken + 1
+        total = stats.taken + stats.not_taken
+    return LoopBound(
+        header_index=header_block.start,
+        branch_index=branch_index,
+        idiom=idiom,
+        counter=counter,
+        step=step,
+        trip_bound=trip_bound,
+        total_iterations=total,
+    )
+
+
+def infer_wcet(cfg: CFG, trace: AbstractTrace) -> WCETResult:
+    """Combine CFG loop structure with the trace into a WCET verdict."""
+    loops = tuple(
+        _classify_loop(cfg, loop, trace) for loop in cfg.loops
+    )
+    if trace.failure is not None or not trace.halted:
+        return WCETResult(
+            cycle_bound=None,
+            loops=loops,
+            completed=False,
+            failure=str(trace.failure) if trace.failure else
+            "abstract execution did not reach HALT",
+        )
+    return WCETResult(
+        cycle_bound=trace.cycles, loops=loops, completed=True
+    )

@@ -9,6 +9,7 @@ The paper's workflow as shell commands::
     python -m repro deploy --model model.npz --format block \
         --c-out engine.c --firmware-out image.bin
     python -m repro encodings --model model.npz
+    python -m repro verify --model model.npz --format block
     python -m repro zoo
 
 Every command prints human-readable results to stdout and exits non-zero
@@ -126,6 +127,36 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.analysis import verify_deployed_model
+    from repro.deploy.deployer import deploy
+    from repro.deploy.serialization import load_quantized_model
+
+    model = load_quantized_model(args.model)
+    deployment = deploy(model, format_name=args.format, verify=False)
+    if not deployment.deployable:
+        print("model does NOT fit the board; nothing to verify",
+              file=sys.stderr)
+        return 2
+    report = verify_deployed_model(deployment.model)
+    board = deployment.board
+    for entry, image in zip(report.layers, deployment.model.images):
+        print(entry.report.format())
+        bound = entry.report.cycle_bound
+        if bound is not None:
+            measured = image.run(board).cycles
+            print(f"  measured    {measured} cycles "
+                  f"(bound/measured = {bound / measured:.3f})")
+    total = report.total_cycle_bound
+    if report.ok and total is not None:
+        latency_ms = total / board.clock_hz * 1e3
+        print(f"model verified: total bound {total} cycles "
+              f"({latency_ms:.2f} ms at {board.clock_hz // 10**6} MHz)")
+        return 0
+    print("verification FAILED", file=sys.stderr)
+    return 2
+
+
 def _cmd_encodings(args) -> int:
     from repro.deploy.artifact import analytic_model_latency_ms
     from repro.deploy.serialization import load_quantized_model
@@ -183,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     encodings.add_argument("--model", required=True)
 
+    verify = commands.add_parser(
+        "verify",
+        help="statically verify the deployed kernels (control flow, "
+             "memory safety, registers, WCET bound)",
+    )
+    verify.add_argument("--model", required=True)
+    verify.add_argument("--format", default="block",
+                        choices=("csc", "delta", "mixed", "block"))
+
     return parser
 
 
@@ -193,6 +233,7 @@ _HANDLERS = {
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
     "encodings": _cmd_encodings,
+    "verify": _cmd_verify,
 }
 
 

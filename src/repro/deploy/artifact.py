@@ -23,7 +23,7 @@ from repro.kernels.codegen_sparse import count_sparse, generate_sparse
 from repro.kernels.opcount import OpCount
 from repro.mcu.board import BoardProfile, STM32F072RB
 from repro.mcu.cpu import CPU
-from repro.mcu.memory import Allocator, MemoryMap
+from repro.mcu.memory import Allocator
 from repro.mcu.profiler import Tim2
 from repro.quantize.ptq import QuantizedModel
 

@@ -4,6 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.report import (
+    ModelVerificationReport,
+    verify_deployed_model,
+)
 from repro.deploy.artifact import DeployedModel, analytic_model_latency_ms
 from repro.deploy.size import ProgramMemoryReport, model_program_memory
 from repro.errors import BudgetExceededError
@@ -20,10 +24,17 @@ class Deployment:
     latency_ms: float
     board: BoardProfile
     format_name: str
+    #: Static-verification verdict of every layer kernel; ``None`` when
+    #: the model was not built (does not fit) or verification was skipped.
+    verification: ModelVerificationReport | None = None
 
     @property
     def deployable(self) -> bool:
         return self.model is not None
+
+    @property
+    def verified(self) -> bool:
+        return self.verification is not None and self.verification.ok
 
 
 def deploy(
@@ -32,13 +43,21 @@ def deploy(
     board: BoardProfile = STM32F072RB,
     block_size: int = 256,
     require_fit: bool = False,
+    verify: bool = True,
 ) -> Deployment:
-    """Size, check, and (when it fits) flash a quantized model.
+    """Size, check, verify, and (when it fits) flash a quantized model.
 
     Program memory is always computed (against scratch memory, so
     oversized models can be sized — Figure 6a's non-deployable points).
     The executable artifact is built only when the model fits the board;
     with ``require_fit`` a non-fitting model raises instead.
+
+    When the artifact is built and ``verify`` is on (the default), the
+    full static-verification suite (:mod:`repro.analysis`) runs over
+    every layer kernel and the deployment ships with its verdict —
+    deployments are verified by construction.  A kernel that fails
+    verification raises :class:`~repro.errors.VerificationError` naming
+    the offending instruction.
     """
     memory_report = model_program_memory(
         quantized.specs, format_name=format_name, block_size=block_size
@@ -47,11 +66,15 @@ def deploy(
         quantized, format_name, board, block_size
     )
     model: DeployedModel | None = None
+    verification: ModelVerificationReport | None = None
     if memory_report.fits(board):
         model = DeployedModel(
             quantized, format_name=format_name, board=board,
             block_size=block_size,
         )
+        if verify:
+            verification = verify_deployed_model(model)
+            verification.require_ok()
     elif require_fit:
         raise BudgetExceededError(
             f"model needs {memory_report.total_kb:.1f} KB of program "
@@ -63,4 +86,5 @@ def deploy(
         latency_ms=latency,
         board=board,
         format_name=format_name,
+        verification=verification,
     )

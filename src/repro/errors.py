@@ -24,6 +24,24 @@ class MemoryMapError(ReproError):
     """An access fell outside the mapped regions or violated permissions."""
 
 
+class VerificationError(ExecutionError):
+    """A static-analysis pass rejected a program before deployment.
+
+    Subclasses :class:`ExecutionError` because a verification failure means
+    the program *would* reach an illegal or input-dependent state if
+    executed; callers that guarded execution with ``except ExecutionError``
+    keep working.  ``instruction_index`` pinpoints the offending
+    instruction when one exists (``None`` for whole-program findings such
+    as a missing ``HALT``).
+    """
+
+    def __init__(self, message: str, *, instruction_index: int | None = None,
+                 pass_name: str | None = None) -> None:
+        super().__init__(message)
+        self.instruction_index = instruction_index
+        self.pass_name = pass_name
+
+
 class BudgetExceededError(ReproError):
     """A resource budget (flash, RAM) was exceeded during deployment."""
 

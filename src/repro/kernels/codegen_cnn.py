@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.kernels.codegen_common import (
     KernelImage,
+    assert_static_discipline,
     RELU_CYCLES,
     emit_relu,
     flash_allocator,
@@ -162,7 +163,7 @@ def generate_conv(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=n * n, input_width=aw,
         output_addr=output_addr, output_count=k * m * m, output_width=4,
         flash_data_bytes=flash_bytes,

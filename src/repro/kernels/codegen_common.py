@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.analysis.taint import verify_static_control_flow
 from repro.mcu.board import BoardProfile, STM32F072RB
 from repro.mcu.cpu import CPU, ExecutionResult
 from repro.mcu.isa import Assembler, Program, Reg
@@ -142,6 +143,28 @@ def needs_saturation(relu: bool, has_mult: bool, act_out_width: int) -> bool:
     """Whether the epilogue clamps: requantized ReLU outputs narrower than
     the accumulator."""
     return relu and has_mult and act_out_width in (1, 2)
+
+
+def assert_static_discipline(program: Program, memory: MemoryMap) -> Program:
+    """Taint-verify a freshly assembled kernel; return it unchanged.
+
+    Every generator funnels its program through this check with *all*
+    writable regions tainted — the strongest form of the §4.1 discipline
+    — so a kernel that could branch or address on input data never
+    leaves code generation.  Raises
+    :class:`~repro.errors.VerificationError` naming the offending
+    instruction.
+    """
+    writable = [
+        (region.base, region.end)
+        for region in memory.regions if region.writable
+    ]
+    if writable:
+        (base, end), *extra = writable
+        verify_static_control_flow(
+            program, base, end - base, tainted_regions=tuple(extra)
+        ).require_clean()
+    return program
 
 
 def ram_allocator(memory: MemoryMap) -> Allocator:

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.kernels.codegen_common import (
     KernelImage,
+    assert_static_discipline,
     RELU_CYCLES,
     SAT_CYCLES,
     emit_relu,
@@ -122,7 +123,7 @@ def generate_dense(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(),
+        program=assert_static_discipline(asm.assemble(), memory),
         memory=memory,
         input_addr=input_addr,
         input_count=spec.n_in,

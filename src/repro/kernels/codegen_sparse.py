@@ -38,6 +38,7 @@ from repro.encodings import (
 from repro.errors import ConfigurationError
 from repro.kernels.codegen_common import (
     KernelImage,
+    assert_static_discipline,
     RELU_CYCLES,
     SAT_CYCLES,
     emit_relu,
@@ -249,7 +250,7 @@ def generate_mixed(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=spec.n_in,
         input_width=spec.act_in_width,
         output_addr=output_addr, output_count=spec.n_out,
@@ -378,7 +379,7 @@ def generate_delta(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=spec.n_in,
         input_width=spec.act_in_width,
         output_addr=output_addr, output_count=spec.n_out,
@@ -498,7 +499,7 @@ def generate_csc(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=spec.n_in,
         input_width=spec.act_in_width,
         output_addr=output_addr, output_count=spec.n_out,
@@ -654,7 +655,7 @@ def generate_block(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=spec.n_in,
         input_width=spec.act_in_width,
         output_addr=output_addr, output_count=spec.n_out,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.kernels.codegen_common import (
     KernelImage,
+    assert_static_discipline,
     RELU_CYCLES,
     SAT_CYCLES,
     emit_relu,
@@ -123,7 +124,7 @@ def generate_dense_unrolled(
     asm.halt()
 
     return KernelImage(
-        program=asm.assemble(), memory=memory,
+        program=assert_static_discipline(asm.assemble(), memory), memory=memory,
         input_addr=input_addr, input_count=spec.n_in,
         input_width=spec.act_in_width,
         output_addr=output_addr, output_count=spec.n_out,

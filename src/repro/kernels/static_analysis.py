@@ -1,217 +1,23 @@
-"""Static verification of the §4.1 execution discipline.
+"""Compatibility shim: the taint pass moved to :mod:`repro.analysis.taint`.
 
-The paper requires inference routines with "static control flow, with
-fixed loop bounds and no data-dependent branching".  Our cost model's
-input-independence rests on that property, so this module *proves* it per
-program instead of assuming it: a taint analysis over the miniature ISA.
-
-Two taint lattices propagate through register dataflow:
-
-- **data taint** — the register may hold a value derived from activation
-  data (the input buffer or other caller-declared tainted regions),
-- **pointer taint** — the register may hold an *address within* a tainted
-  region (so a load through it yields tainted data; Fig. 4's pointer-bump
-  traversal makes this the common addressing mode).
-
-Loads from flash (weights, indices, counts) are untainted: they are
-compile-time constants of the deployed model, so loop bounds driven by
-them are still input-independent.  The verifier rejects any program in
-which a flag-setting instruction (``CMP``/``CMPI``/``SUBSI``) observes
-data-tainted registers — which would make a subsequent branch
-data-dependent.
-
-The analysis is a conservative fixpoint over all paths, so a pass is a
-proof; a failure pinpoints the offending instruction.
+The §4.1 static-control-flow verifier started life here as a standalone
+pass; it is now one client of the shared CFG/fixpoint framework in
+:mod:`repro.analysis`.  Existing imports keep working — new code should
+import from :mod:`repro.analysis` directly.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.errors import ExecutionError
-from repro.mcu.isa import (
-    BRANCH_OPS,
-    LOAD_OPS,
-    Op,
-    Program,
-    STORE_OPS,
+from repro.analysis.taint import (
+    TAINTED_FLAGS,
+    TAINTED_STORE_ADDRESS,
+    AnalysisResult,
+    TaintViolation,
+    verify_static_control_flow,
 )
 
-#: Ops writing operand 0 from source operands at these positions.
-_ALU_DST_SRC = {
-    Op.MOV: (1,),
-    Op.ADD: (1, 2),
-    Op.ADDI: (1,),
-    Op.SUB: (1, 2),
-    Op.SUBI: (1,),
-    Op.SUBSI: (1,),
-    Op.MUL: (1, 2),
-    Op.LSLI: (1,),
-    Op.LSRI: (1,),
-    Op.ASRI: (1,),
-    Op.AND: (1, 2),
-    Op.ORR: (1, 2),
-    Op.EOR: (1, 2),
-}
-
-#: Flag-setting ops and the operand positions they observe.
-_FLAG_SOURCES = {
-    Op.CMP: (0, 1),
-    Op.CMPI: (0,),
-    Op.SUBSI: (1,),
-}
-
-
-@dataclass(frozen=True)
-class TaintViolation:
-    """A flag-setting instruction that observed input-derived data."""
-
-    index: int
-    instruction: str
-
-    def __str__(self) -> str:
-        return (
-            f"tainted flags at instruction {self.index}: {self.instruction}"
-        )
-
-
-@dataclass(frozen=True)
-class AnalysisResult:
-    """Outcome of the §4.1 discipline check."""
-
-    control_flow_is_input_independent: bool
-    violations: tuple[TaintViolation, ...]
-    tainted_store_sites: int   # stores of input-derived data (the outputs)
-
-    def require_clean(self) -> None:
-        if not self.control_flow_is_input_independent:
-            raise ExecutionError(
-                "program violates the static-control-flow discipline: "
-                + "; ".join(str(v) for v in self.violations)
-            )
-
-
-@dataclass(frozen=True)
-class _State:
-    data: frozenset[int]      # registers holding input-derived values
-    pointer: frozenset[int]   # registers addressing a tainted region
-
-    def join(self, other: "_State") -> "_State":
-        return _State(self.data | other.data, self.pointer | other.pointer)
-
-
-def verify_static_control_flow(
-    program: Program,
-    input_addr: int,
-    input_bytes: int,
-    tainted_regions: tuple[tuple[int, int], ...] = (),
-) -> AnalysisResult:
-    """Prove that no branch of ``program`` depends on activation data.
-
-    ``tainted_regions`` adds address ranges whose contents are also
-    input-derived (e.g. the block kernel's partial-sum buffer, or a
-    chained layer's intermediate activation buffers).
-    """
-    regions = ((input_addr, input_addr + input_bytes),) + tuple(
-        tainted_regions
-    )
-
-    def constant_points_into_taint(value: int) -> bool:
-        return any(lo <= value < hi for lo, hi in regions)
-
-    instructions = program.instructions
-    n = len(instructions)
-    states: list[_State | None] = [None] * n
-    violations: dict[int, TaintViolation] = {}
-    tainted_store_sites: set[int] = set()
-
-    worklist: list[int] = []
-
-    def push(index: int, state: _State) -> None:
-        if index >= n:
-            return
-        current = states[index]
-        merged = state if current is None else current.join(state)
-        if merged != current:
-            states[index] = merged
-            worklist.append(index)
-
-    push(0, _State(frozenset(), frozenset()))
-    steps = 0
-    while worklist:
-        steps += 1
-        if steps > 64 * n * n + 1000:
-            raise ExecutionError("taint analysis failed to converge")
-        index = worklist.pop()
-        state = states[index]
-        instr = instructions[index]
-        op = instr.op
-        ops = instr.operands
-        data = set(state.data)
-        pointer = set(state.pointer)
-
-        if op is Op.HALT:
-            continue
-
-        successors = [index + 1]
-        if op in BRANCH_OPS:
-            target = ops[0]
-            successors = [target] if op is Op.B else [index + 1, target]
-        elif op is Op.MOVI:
-            dst, value = ops[0], int(ops[1])
-            data.discard(dst)
-            if constant_points_into_taint(value):
-                pointer.add(dst)
-            else:
-                pointer.discard(dst)
-        elif op in _ALU_DST_SRC:
-            sources = _ALU_DST_SRC[op]
-            dst = ops[0]
-            if op in _FLAG_SOURCES and any(
-                ops[i] in data for i in _FLAG_SOURCES[op]
-            ):
-                violations.setdefault(
-                    index, TaintViolation(index, repr(instr))
-                )
-            if any(ops[i] in data for i in sources):
-                data.add(dst)
-            else:
-                data.discard(dst)
-            # Pointer arithmetic keeps pointing into the region.
-            if any(ops[i] in pointer for i in sources):
-                pointer.add(dst)
-            else:
-                pointer.discard(dst)
-        elif op in (Op.CMP, Op.CMPI):
-            if any(ops[i] in data for i in _FLAG_SOURCES[op]):
-                violations.setdefault(
-                    index, TaintViolation(index, repr(instr))
-                )
-        elif op in LOAD_OPS:
-            dst, base = ops[0], ops[1]
-            loads_tainted = (
-                base in pointer
-                or base in data
-                or (instr.offset_is_reg and ops[2] in pointer)
-            )
-            if loads_tainted:
-                data.add(dst)
-            else:
-                data.discard(dst)
-            pointer.discard(dst)
-        elif op in STORE_OPS:
-            if ops[0] in data:
-                tainted_store_sites.add(index)
-
-        new_state = _State(frozenset(data), frozenset(pointer))
-        for successor in successors:
-            push(successor, new_state)
-
-    ordered = tuple(
-        violations[i] for i in sorted(violations)
-    )
-    return AnalysisResult(
-        control_flow_is_input_independent=not ordered,
-        violations=ordered,
-        tainted_store_sites=len(tainted_store_sites),
-    )
+__all__ = [
+    "TAINTED_FLAGS",
+    "TAINTED_STORE_ADDRESS",
+    "AnalysisResult",
+    "TaintViolation",
+    "verify_static_control_flow",
+]

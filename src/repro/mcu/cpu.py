@@ -24,7 +24,6 @@ from repro.mcu.isa import (
     NUM_REGS,
     SIGNED_LOADS,
     STORE_OPS,
-    Instr,
     Op,
     Program,
     Reg,
@@ -37,6 +36,21 @@ _MASK32 = 0xFFFF_FFFF
 def _to_signed(value: int) -> int:
     value &= _MASK32
     return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def subtract_flags(lhs: int, rhs: int) -> tuple[bool, bool, bool]:
+    """NZV flags of the 32-bit subtraction ``lhs - rhs`` (signed operands).
+
+    Shared between the interpreter and the static analyser's abstract
+    executor so both resolve conditional branches identically.
+    """
+    diff = lhs - rhs
+    flag_z = diff == 0
+    # Signed overflow of the 32-bit subtraction; N is the sign bit of the
+    # wrapped result (matches hardware NZCV).
+    flag_v = not (-(1 << 31) <= diff < (1 << 31))
+    flag_n = bool((diff & _MASK32) & 0x8000_0000)
+    return flag_n, flag_z, flag_v
 
 
 @dataclass(frozen=True)
@@ -167,20 +181,12 @@ class CPU:
             elif op is Op.SUBSI:
                 lhs = _to_signed(regs[ops[1]])
                 rhs = int(ops[2])
-                diff = lhs - rhs
-                regs[ops[0]] = diff & _MASK32
-                flag_z = diff == 0
-                flag_v = not (-(1 << 31) <= diff < (1 << 31))
-                flag_n = bool((diff & _MASK32) & 0x8000_0000)
+                regs[ops[0]] = (lhs - rhs) & _MASK32
+                flag_n, flag_z, flag_v = subtract_flags(lhs, rhs)
             elif op is Op.CMP or op is Op.CMPI:
                 lhs = _to_signed(regs[ops[0]])
                 rhs = _to_signed(regs[ops[1]]) if op is Op.CMP else int(ops[1])
-                diff = lhs - rhs
-                flag_z = diff == 0
-                # Signed overflow of the 32-bit subtraction; N is the sign
-                # bit of the wrapped result (matches hardware NZCV).
-                flag_v = not (-(1 << 31) <= diff < (1 << 31))
-                flag_n = bool((diff & _MASK32) & 0x8000_0000)
+                flag_n, flag_z, flag_v = subtract_flags(lhs, rhs)
             elif op in LOAD_OPS or op in STORE_OPS:
                 base = regs[ops[1]]
                 if instr.offset_is_reg:
@@ -206,6 +212,11 @@ class CPU:
 
             cycles += costs.cost_of(op, taken)
             pc = next_pc
+
+
+def branch_taken(op: Op, n: bool, z: bool, v: bool) -> bool:
+    """Whether branch ``op`` is taken under NZV flags (public helper)."""
+    return _branch_taken(op, n, z, v)
 
 
 def _branch_taken(op: Op, n: bool, z: bool, v: bool) -> bool:

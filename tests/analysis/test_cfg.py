@@ -1,0 +1,138 @@
+"""CFG construction, structural validation, and loop detection."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.errors import VerificationError
+from repro.mcu.isa import Assembler, Instr, Op, Program, Reg
+
+
+def _assemble(body) -> "Program":
+    asm = Assembler()
+    body(asm)
+    return asm.assemble()
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        def body(asm):
+            asm.movi(Reg.R0, 1)
+            asm.addi(Reg.R0, Reg.R0, 2)
+            asm.halt()
+
+        cfg = build_cfg(_assemble(body))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].start == 0
+        assert cfg.blocks[0].end == 2
+        assert cfg.blocks[0].successors == ()
+
+    def test_branch_splits_blocks(self):
+        def body(asm):
+            asm.movi(Reg.R0, 3)          # 0
+            asm.label("loop")
+            asm.subsi(Reg.R0, Reg.R0, 1)  # 1
+            asm.bgt("loop")               # 2
+            asm.halt()                    # 3
+
+        cfg = build_cfg(_assemble(body))
+        assert len(cfg.blocks) == 3
+        loop_block = cfg.block_containing(1)
+        assert loop_block.start == 1 and loop_block.end == 2
+        # Self-loop plus fallthrough to HALT.
+        assert set(loop_block.successors) == {
+            loop_block.id, cfg.block_of[3]
+        }
+
+    def test_predecessors_mirror_successors(self):
+        def body(asm):
+            asm.movi(Reg.R0, 2)
+            asm.label("top")
+            asm.subsi(Reg.R0, Reg.R0, 1)
+            asm.bgt("top")
+            asm.halt()
+
+        cfg = build_cfg(_assemble(body))
+        for block in cfg.blocks:
+            for succ in block.successors:
+                assert block.id in cfg.blocks[succ].predecessors
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(VerificationError, match="empty"):
+            build_cfg(Program(instructions=(), labels={}, name="empty"))
+
+    def test_invalid_branch_target_names_instruction(self):
+        program = Program(
+            instructions=(
+                Instr(Op.MOVI, (Reg.R0, 1)),
+                Instr(Op.B, (99,)),
+                Instr(Op.HALT, ()),
+            ),
+            labels={},
+            name="bad-branch",
+        )
+        with pytest.raises(VerificationError, match="instruction 1") as exc:
+            build_cfg(program)
+        assert exc.value.instruction_index == 1
+        assert exc.value.pass_name == "cfg"
+
+    def test_fallthrough_past_end_rejected(self):
+        program = Program(
+            instructions=(Instr(Op.MOVI, (Reg.R0, 1)),),
+            labels={},
+            name="no-halt",
+        )
+        with pytest.raises(VerificationError, match="falls through"):
+            build_cfg(program)
+
+    def test_unreachable_code_is_recorded_not_raised(self):
+        program = Program(
+            instructions=(
+                Instr(Op.B, (3,)),
+                Instr(Op.MOVI, (Reg.R0, 1)),   # dead
+                Instr(Op.MOVI, (Reg.R1, 2)),   # dead
+                Instr(Op.HALT, ()),
+            ),
+            labels={},
+            name="dead-code",
+        )
+        cfg = build_cfg(program)
+        assert cfg.unreachable_instructions == (1, 2)
+
+
+class TestLoops:
+    def test_self_loop_body_is_just_the_latch_block(self):
+        def body(asm):
+            asm.movi(Reg.R0, 4)           # 0
+            asm.label("loop")
+            asm.subsi(Reg.R0, Reg.R0, 1)  # 1
+            asm.bgt("loop")               # 2
+            asm.halt()                    # 3
+
+        cfg = build_cfg(_assemble(body))
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.body == frozenset({loop.header})
+        assert loop.branch_index == 2
+
+    def test_nested_loops_detected(self):
+        def body(asm):
+            asm.movi(Reg.R0, 3)
+            asm.label("outer")
+            asm.movi(Reg.R1, 5)
+            asm.label("inner")
+            asm.subsi(Reg.R1, Reg.R1, 1)
+            asm.bgt("inner")
+            asm.subsi(Reg.R0, Reg.R0, 1)
+            asm.bgt("outer")
+            asm.halt()
+
+        cfg = build_cfg(_assemble(body))
+        assert len(cfg.loops) == 2
+        bodies = sorted(len(loop.body) for loop in cfg.loops)
+        # Inner loop is one block; the outer body strictly contains it.
+        assert bodies[0] < bodies[1]
+        inner = min(cfg.loops, key=lambda lp: len(lp.body))
+        outer = max(cfg.loops, key=lambda lp: len(lp.body))
+        assert inner.header in outer.body

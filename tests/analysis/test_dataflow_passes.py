@@ -1,0 +1,160 @@
+"""Taint (§4.1 discipline) and definite-initialization passes."""
+
+import pytest
+
+from repro.analysis import (
+    TAINTED_STORE_ADDRESS,
+    check_initialized_reads,
+    verify_static_control_flow,
+)
+from repro.errors import VerificationError
+from repro.mcu.isa import Assembler, Reg
+
+RAM = 0x2000_0000
+
+
+def _assemble(body):
+    asm = Assembler()
+    body(asm)
+    return asm.assemble()
+
+
+class TestTaintedStoreAddresses:
+    def test_data_derived_store_base_is_flagged(self):
+        # Classic table-scatter: load a data byte, use it as an index.
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.ldrsb(Reg.R1, Reg.R0, 0)        # tainted value
+            asm.movi(Reg.R2, RAM + 64)
+            asm.add(Reg.R2, Reg.R2, Reg.R1)     # tainted address
+            asm.movi(Reg.R3, 7)
+            asm.strb(Reg.R3, Reg.R2, 0)         # store through it
+            asm.halt()
+
+        result = verify_static_control_flow(_assemble(body), RAM, 64)
+        assert not result.store_addresses_are_input_independent
+        assert not result.ok
+        assert result.control_flow_is_input_independent  # flags untouched
+        assert [v.kind for v in result.violations] == [
+            TAINTED_STORE_ADDRESS
+        ]
+        assert result.violations[0].index == 5
+
+    def test_data_derived_index_register_is_flagged(self):
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.ldrsb(Reg.R1, Reg.R0, 0)        # tainted value
+            asm.movi(Reg.R2, RAM + 64)
+            asm.movi(Reg.R3, 7)
+            asm.strb(Reg.R3, Reg.R2, Reg.R1)    # tainted index register
+            asm.halt()
+
+        result = verify_static_control_flow(_assemble(body), RAM, 64)
+        assert not result.store_addresses_are_input_independent
+        assert result.violations[0].index == 4
+        with pytest.raises(VerificationError, match="store address"):
+            result.require_clean()
+
+    def test_storing_tainted_value_to_constant_address_is_fine(self):
+        # Writing activations is the whole point: tainted *value*,
+        # untainted *address*.
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.ldrsb(Reg.R1, Reg.R0, 0)
+            asm.movi(Reg.R2, RAM + 64)
+            asm.strb(Reg.R1, Reg.R2, 0)
+            asm.halt()
+
+        result = verify_static_control_flow(_assemble(body), RAM, 64)
+        assert result.ok
+        assert result.store_addresses_are_input_independent
+        assert result.tainted_store_sites == 1
+
+    def test_pointer_bump_store_is_fine(self):
+        # Walking a pointer with ADDI keeps the address input-independent.
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.movi(Reg.R2, RAM + 64)
+            asm.movi(Reg.R3, 2)
+            asm.label("loop")
+            asm.ldrsb(Reg.R1, Reg.R0, 0)
+            asm.addi(Reg.R0, Reg.R0, 1)
+            asm.strb(Reg.R1, Reg.R2, 0)
+            asm.addi(Reg.R2, Reg.R2, 1)
+            asm.subsi(Reg.R3, Reg.R3, 1)
+            asm.bgt("loop")
+            asm.halt()
+
+        result = verify_static_control_flow(_assemble(body), RAM, 64)
+        assert result.ok
+
+
+class TestInitializedReads:
+    def test_read_before_any_write_is_flagged(self):
+        def body(asm):
+            asm.addi(Reg.R0, Reg.R1, 1)   # reads R1, never written
+            asm.halt()
+
+        result = check_initialized_reads(_assemble(body))
+        assert not result.ok
+        assert result.violations[0].index == 0
+        assert result.violations[0].register == Reg.R1
+        with pytest.raises(VerificationError, match="uninitialized"):
+            result.require_clean()
+
+    def test_write_then_read_is_clean(self):
+        def body(asm):
+            asm.movi(Reg.R1, 5)
+            asm.addi(Reg.R0, Reg.R1, 1)
+            asm.halt()
+
+        assert check_initialized_reads(_assemble(body)).ok
+
+    def test_one_sided_init_in_diamond_is_flagged(self):
+        # R2 is written only on the taken path; the join must intersect.
+        def body(asm):
+            asm.movi(Reg.R0, 1)
+            asm.cmpi(Reg.R0, 0)
+            asm.beq("skip")
+            asm.movi(Reg.R2, 7)
+            asm.label("skip")
+            asm.addi(Reg.R3, Reg.R2, 1)   # R2 maybe-uninitialized
+            asm.halt()
+
+        result = check_initialized_reads(_assemble(body))
+        assert [v.register for v in result.violations] == [Reg.R2]
+
+    def test_both_sided_init_in_diamond_is_clean(self):
+        def body(asm):
+            asm.movi(Reg.R0, 1)
+            asm.cmpi(Reg.R0, 0)
+            asm.beq("other")
+            asm.movi(Reg.R2, 7)
+            asm.b("join")
+            asm.label("other")
+            asm.movi(Reg.R2, 9)
+            asm.label("join")
+            asm.addi(Reg.R3, Reg.R2, 1)
+            asm.halt()
+
+        assert check_initialized_reads(_assemble(body)).ok
+
+    def test_entry_seed_suppresses_violation(self):
+        def body(asm):
+            asm.addi(Reg.R0, Reg.R1, 1)
+            asm.halt()
+
+        result = check_initialized_reads(
+            _assemble(body), initialized=frozenset({Reg.R1})
+        )
+        assert result.ok
+
+    def test_store_reads_value_base_and_index(self):
+        def body(asm):
+            asm.strb(Reg.R0, Reg.R1, Reg.R2)   # all three uninitialized
+            asm.halt()
+
+        result = check_initialized_reads(_assemble(body))
+        assert {v.register for v in result.violations} == {
+            Reg.R0, Reg.R1, Reg.R2
+        }

@@ -1,0 +1,169 @@
+"""Aggregate verification report and deployment integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    verify_deployed_model,
+    verify_kernel_image,
+    verify_program,
+)
+from repro.errors import VerificationError
+from repro.kernels.codegen_dense import generate_dense
+from repro.kernels.spec import make_dense_spec
+from repro.mcu.isa import Assembler, Instr, Op, Program, Reg
+from repro.mcu.memory import MemoryMap
+
+RAM = 0x2000_0000
+
+
+def _assemble(body):
+    asm = Assembler()
+    body(asm)
+    return asm.assemble()
+
+
+@pytest.fixture()
+def dense_image(rng):
+    weights = rng.integers(-20, 20, (16, 8)).astype(np.int8)
+    bias = rng.integers(-5, 5, 8).astype(np.int32)
+    spec = make_dense_spec(
+        weights, bias, mult=None, act_out_width=4, relu=True
+    )
+    return generate_dense(spec)
+
+
+class TestVerificationReport:
+    def test_clean_kernel_passes_every_section(self, dense_image):
+        report = verify_kernel_image(dense_image)
+        assert report.ok
+        assert report.cycle_bound is not None
+        report.require_ok()   # must not raise
+        text = report.format()
+        for section in (
+            "structure", "reachable", "discipline", "registers",
+            "memory", "wcet",
+        ):
+            assert section in text
+        assert "FAIL" not in text
+        assert "verified" in report.summary()
+
+    def test_structural_failure_short_circuits(self):
+        program = Program(
+            instructions=(Instr(Op.B, (42,)), Instr(Op.HALT, ())),
+            labels={}, name="broken",
+        )
+        report = verify_program(program, MemoryMap.stm32())
+        assert not report.ok
+        assert report.structural_error is not None
+        assert report.taint is None and report.wcet is None
+        with pytest.raises(VerificationError, match="invalid"):
+            report.require_ok()
+        assert "FAIL" in report.format()
+
+    def test_unreachable_code_fails_the_report(self):
+        program = Program(
+            instructions=(
+                Instr(Op.B, (2,)),
+                Instr(Op.MOVI, (Reg.R0, 1)),    # dead
+                Instr(Op.HALT, ()),
+            ),
+            labels={}, name="dead",
+        )
+        report = verify_program(program, MemoryMap.stm32())
+        assert not report.ok
+        with pytest.raises(VerificationError, match="unreachable") as exc:
+            report.require_ok()
+        assert exc.value.instruction_index == 1
+
+    def test_discipline_violation_names_instruction(self):
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.ldrsb(Reg.R1, Reg.R0, 0)
+            asm.cmpi(Reg.R1, 0)           # branch on input data
+            asm.beq("skip")
+            asm.movi(Reg.R2, 1)
+            asm.label("skip")
+            asm.halt()
+
+        report = verify_program(_assemble(body), MemoryMap.stm32())
+        assert not report.ok
+        with pytest.raises(VerificationError, match="discipline") as exc:
+            report.require_ok()
+        assert exc.value.instruction_index == 2
+        assert exc.value.pass_name == "taint"
+
+    def test_memsafe_violation_names_instruction(self):
+        def body(asm):
+            asm.movi(Reg.R0, RAM - 8)
+            asm.movi(Reg.R1, 1)
+            asm.strb(Reg.R1, Reg.R0, 0)
+            asm.halt()
+
+        report = verify_program(_assemble(body), MemoryMap.stm32())
+        assert not report.ok
+        with pytest.raises(VerificationError) as exc:
+            report.require_ok()
+        assert exc.value.pass_name == "memsafe"
+        assert exc.value.instruction_index == 2
+        assert "FAIL" in report.format()
+
+
+class TestDeployedModelVerification:
+    def test_deploy_carries_a_verified_verdict(self, trained_neuroc):
+        from repro.deploy.deployer import deploy
+
+        deployment = deploy(trained_neuroc.quantized)
+        assert deployment.deployable
+        assert deployment.verification is not None
+        assert deployment.verified
+        assert deployment.verification.total_cycle_bound is not None
+        assert "model total" in deployment.verification.format()
+
+    def test_verify_opt_out(self, trained_neuroc):
+        from repro.deploy.deployer import deploy
+
+        deployment = deploy(trained_neuroc.quantized, verify=False)
+        assert deployment.deployable
+        assert deployment.verification is None
+        assert not deployment.verified
+
+    def test_per_layer_bound_matches_measured(self, trained_neuroc):
+        from repro.deploy.deployer import deploy
+
+        deployment = deploy(trained_neuroc.quantized)
+        model = deployment.model
+        report = deployment.verification
+        for entry, image in zip(report.layers, model.images):
+            measured = image.run(model.board).cycles
+            assert entry.report.cycle_bound == measured
+
+    def test_violating_layer_is_named(self, dense_image):
+        class FakeModel:
+            def __init__(self, images, board):
+                self.images = images
+                self.board = board
+
+        def body(asm):
+            asm.movi(Reg.R0, RAM)
+            asm.ldrsb(Reg.R1, Reg.R0, 0)
+            asm.cmpi(Reg.R1, 0)
+            asm.beq("skip")
+            asm.movi(Reg.R2, 1)
+            asm.label("skip")
+            asm.halt()
+
+        class FakeImage:
+            program = _assemble(body)
+            memory = MemoryMap.stm32()
+
+        from repro.mcu.board import STM32F072RB
+
+        model = FakeModel([dense_image, FakeImage()], STM32F072RB)
+        report = verify_deployed_model(model)
+        assert not report.ok
+        assert report.layers[0].report.ok
+        assert not report.layers[1].report.ok
+        with pytest.raises(VerificationError, match="layer 1") as exc:
+            report.require_ok()
+        assert exc.value.instruction_index == 2

@@ -1,7 +1,6 @@
 """Cross-cutting deployment properties: boards, formats, RAM accounting."""
 
 import numpy as np
-import pytest
 
 from repro.deploy.artifact import DeployedModel, analytic_model_cycles
 from repro.mcu.board import CORTEX_M4_REFERENCE, STM32F072RB

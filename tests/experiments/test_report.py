@@ -1,10 +1,7 @@
 """Report generator: section structure, with experiment runs stubbed."""
 
-import pytest
 
 from repro.experiments import report
-from repro.experiments.fig2 import Fig2Row
-from repro.experiments.fig5 import EncodingPoint
 
 
 def test_table1_section_static():

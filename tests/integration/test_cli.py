@@ -69,6 +69,85 @@ class TestModelCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestVerify:
+    def test_verify_reports_every_pass_and_exact_bounds(
+        self, model_file, capsys
+    ):
+        assert main(
+            ["verify", "--model", model_file, "--format", "block"]
+        ) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "structure", "reachable", "discipline", "registers",
+            "memory", "wcet", "measured",
+        ):
+            assert section in out
+        assert "FAIL" not in out
+        assert "model verified" in out
+        # The discipline makes the static bound exact, not just tight.
+        assert "bound/measured = 1.000" in out
+
+    def test_deploy_over_budget_model_exits_2(
+        self, rng, tmp_path, capsys
+    ):
+        from repro.kernels.spec import make_dense_spec
+        from repro.quantize.ptq import QuantizedModel
+
+        weights = rng.integers(-50, 50, (784, 400)).astype(np.int8)
+        spec = make_dense_spec(
+            weights, rng.integers(-5, 5, 400).astype(np.int32),
+            mult=None, act_out_width=4, relu=False,
+        )
+        oversized = QuantizedModel(
+            specs=[spec], input_scale=1 / 127, act_width=1
+        )
+        path = str(save_quantized_model(oversized, tmp_path / "big.npz"))
+        assert main(["deploy", "--model", path]) == 2
+        assert "does NOT fit" in capsys.readouterr().err
+        assert main(["verify", "--model", path]) == 2
+        assert "nothing to verify" in capsys.readouterr().err
+
+    def test_verify_rejects_discipline_violation(
+        self, model_file, monkeypatch, capsys
+    ):
+        # A hand-written kernel that branches on input data, smuggled in
+        # behind the deploy() boundary to exercise the failure path.
+        from types import SimpleNamespace
+
+        from repro.mcu.board import STM32F072RB
+        from repro.mcu.isa import Assembler, Reg
+        from repro.mcu.memory import MemoryMap
+        import repro.deploy.deployer as deployer_module
+
+        asm = Assembler("rogue")
+        asm.movi(Reg.R0, 0x2000_0000)
+        asm.ldrsb(Reg.R1, Reg.R0, 0)
+        asm.cmpi(Reg.R1, 0)
+        asm.beq("skip")
+        asm.movi(Reg.R2, 1)
+        asm.label("skip")
+        asm.halt()
+        rogue = SimpleNamespace(
+            program=asm.assemble(), memory=MemoryMap.stm32()
+        )
+        fake_model = SimpleNamespace(
+            images=[rogue], board=STM32F072RB
+        )
+        real_deploy = deployer_module.deploy
+
+        def fake_deploy(quantized, **kwargs):
+            deployment = real_deploy(quantized, verify=False)
+            object.__setattr__(deployment, "model", fake_model)
+            return deployment
+
+        monkeypatch.setattr(deployer_module, "deploy", fake_deploy)
+        assert main(["verify", "--model", model_file]) == 2
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "data-dependent" in captured.out
+        assert "verification FAILED" in captured.err
+
+
 class TestTrain:
     def test_train_writes_a_loadable_model(self, tmp_path, capsys):
         out_file = tmp_path / "trained.npz"

@@ -80,6 +80,39 @@ class TestHandBuiltPrograms:
         result = verify_static_control_flow(asm.assemble(), RAM, 64)
         assert result.control_flow_is_input_independent
 
+    def test_tainted_store_base_detected(self):
+        # Store address derived from input data: control flow is static,
+        # but the memory-traffic pattern would depend on the input.
+        asm = Assembler("scatter")
+        asm.movi(Reg.R0, RAM)
+        asm.ldrsb(Reg.R1, Reg.R0, 0)        # input byte
+        asm.movi(Reg.R2, RAM + 64)
+        asm.add(Reg.R2, Reg.R2, Reg.R1)     # base = table + input
+        asm.movi(Reg.R3, 1)
+        asm.strb(Reg.R3, Reg.R2, 0)
+        asm.halt()
+        result = verify_static_control_flow(asm.assemble(), RAM, 64)
+        assert result.control_flow_is_input_independent
+        assert not result.store_addresses_are_input_independent
+        assert not result.ok
+        assert result.violations[0].index == 5
+        with pytest.raises(ExecutionError, match="discipline"):
+            result.require_clean()
+
+    def test_tainted_store_index_register_detected(self):
+        # Regression: a tainted *index* register (reg-offset store) used
+        # to slip through when only the base register was inspected.
+        asm = Assembler("scatter-index")
+        asm.movi(Reg.R0, RAM)
+        asm.ldrsb(Reg.R1, Reg.R0, 0)        # input byte
+        asm.movi(Reg.R2, RAM + 64)
+        asm.movi(Reg.R3, 1)
+        asm.strb(Reg.R3, Reg.R2, Reg.R1)    # offset register is tainted
+        asm.halt()
+        result = verify_static_control_flow(asm.assemble(), RAM, 64)
+        assert not result.store_addresses_are_input_independent
+        assert result.violations[0].index == 4
+
     def test_movi_clears_previous_taint(self):
         asm = Assembler("cleared")
         asm.movi(Reg.R0, RAM)

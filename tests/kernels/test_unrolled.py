@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.kernels import ref
-from repro.kernels.codegen_dense import count_dense, generate_dense
+from repro.kernels.codegen_dense import count_dense
 from repro.kernels.codegen_unrolled import (
     count_dense_unrolled,
     generate_dense_unrolled,

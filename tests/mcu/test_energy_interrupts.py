@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ExecutionError
-from repro.kernels.codegen_sparse import count_sparse, generate_sparse
+from repro.kernels.codegen_sparse import generate_sparse
 from repro.kernels.opcount import OpCount
 from repro.kernels.spec import make_neuroc_spec
 from repro.mcu.board import STM32F072RB

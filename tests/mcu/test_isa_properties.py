@@ -6,7 +6,6 @@ register files must agree exactly.  This pins the interpreter's masking,
 sign-extension, and shift semantics independently of the kernel tests.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

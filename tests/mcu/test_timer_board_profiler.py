@@ -1,6 +1,5 @@
 """TIM2 timer, board profiles (Table 1), and the measurement harness."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExecutionError

@@ -15,7 +15,7 @@ from repro.nn.layers import (
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam
 from repro.nn.trainer import TrainConfig, Trainer
-from repro.quantize.ptq import QuantizedModel, quantize_model
+from repro.quantize.ptq import quantize_model
 
 
 @pytest.fixture(scope="module")
