@@ -1,0 +1,135 @@
+"""Fleet serving benchmark: open-loop trace over simulated devices.
+
+Replays a synthetic Poisson arrival trace through ``repro.serve`` at
+three load points (0.5x, 1x, 2x of analytic fleet capacity) and reports
+throughput, latency percentiles (simulated ms), rejections, and
+per-device utilization.  A fourth run enables fault injection and
+asserts the acceptance invariant from ISSUE 2: with brown-outs active,
+
+    completed + rejected + failed == offered load
+
+i.e. no request is ever lost.  The full metrics snapshot is persisted
+as JSON under ``benchmarks/results/`` (CI uploads it as an artifact).
+
+Reduced configuration: set ``REPRO_SERVE_BENCH_REQUESTS`` (for example
+to 200, as the CI smoke job does) to shrink the trace; the default is
+the ISSUE-2 acceptance configuration of 1000 requests over 4 devices.
+"""
+
+import json
+import os
+
+from _output import RESULTS_DIR, emit
+from repro.core.neuroc import NeuroCConfig, train_neuroc
+from repro.datasets import load
+from repro.serve import (
+    FaultPlan,
+    ModelRegistry,
+    ServeConfig,
+    ServeRuntime,
+    synthetic_trace,
+)
+
+N_REQUESTS = int(os.environ.get("REPRO_SERVE_BENCH_REQUESTS", "1000"))
+N_DEVICES = 4
+
+
+def _artifact():
+    dataset = load("digits_like", n_train=600, n_test=200, seed=3)
+    config = NeuroCConfig(
+        n_in=64, n_out=10, hidden=(16,), threshold=0.85,
+        name="serve-bench", seed=0,
+    )
+    trained = train_neuroc(config, dataset, epochs=10, lr=0.01)
+    registry = ModelRegistry()
+    return registry.register(trained.quantized), dataset
+
+
+def _run(artifact, dataset, *, rate_rps, seed, fault_plan=None,
+         max_retries=2):
+    trace = synthetic_trace(
+        N_REQUESTS, rate_rps, 64, seed=seed, inputs=dataset.x_test
+    )
+    runtime = ServeRuntime(
+        artifact,
+        ServeConfig(
+            n_devices=N_DEVICES,
+            max_queue_depth=max(64, N_REQUESTS // 4),
+            max_queue_wait_ms=25.0,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
+        ),
+    )
+    return runtime.replay(trace)
+
+
+def test_serve_throughput_and_conservation():
+    artifact, dataset = _artifact()
+    capacity_rps = N_DEVICES * 1000.0 / artifact.deployment.latency_ms
+
+    rows = []
+    for label, factor, plan in (
+        ("0.5x", 0.5, None),
+        ("1.0x", 1.0, None),
+        ("2.0x", 2.0, None),
+        ("1.0x+faults", 1.0,
+         FaultPlan(brownout_rate=0.15, seed=5)),
+    ):
+        report = _run(
+            artifact, dataset,
+            rate_rps=factor * capacity_rps,
+            seed=17,
+            fault_plan=plan,
+        )
+        # The acceptance invariant: no lost requests, under any plan.
+        assert report.conserved, (
+            f"{label}: {report.completed} + {report.rejected} + "
+            f"{report.failed} != {report.offered}"
+        )
+        assert report.offered == N_REQUESTS
+        assert report.latency_ms["p50"] <= report.latency_ms["p95"] \
+            <= report.latency_ms["p99"]
+        for value in report.device_utilization.values():
+            assert 0.0 <= value <= 1.0
+        rows.append((label, report))
+
+    # Under heavy overload the runtime must shed rather than queue
+    # without bound; with faults it must retry (or fail) every brown-out.
+    overload = dict(rows)["2.0x"]
+    assert overload.rejected > 0
+    faulty = dict(rows)["1.0x+faults"]
+    assert faulty.metrics["counters"]["device.brownouts"] > 0
+
+    lines = [
+        f"devices={N_DEVICES}  requests={N_REQUESTS}  "
+        f"capacity~{capacity_rps:.0f} req/sim-s",
+        f"{'load':12s} {'done':>5s} {'rej':>5s} {'fail':>5s} "
+        f"{'thru r/s':>9s} {'p50ms':>7s} {'p95ms':>7s} {'p99ms':>7s} "
+        f"{'util%':>6s}",
+    ]
+    payload = {}
+    for label, report in rows:
+        mean_util = sum(report.device_utilization.values()) / N_DEVICES
+        lines.append(
+            f"{label:12s} {report.completed:5d} {report.rejected:5d} "
+            f"{report.failed:5d} {report.throughput_rps:9.0f} "
+            f"{report.latency_ms['p50']:7.2f} "
+            f"{report.latency_ms['p95']:7.2f} "
+            f"{report.latency_ms['p99']:7.2f} {mean_util * 100:6.1f}"
+        )
+        payload[label] = {
+            "offered": report.offered,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "failed": report.failed,
+            "throughput_rps": report.throughput_rps,
+            "makespan_ms": report.makespan_ms,
+            "latency_ms": report.latency_ms,
+            "queue_ms": report.queue_ms,
+            "device_utilization": report.device_utilization,
+            "counters": report.metrics["counters"],
+        }
+    emit("serve_throughput", "\n".join(lines))
+    (RESULTS_DIR / "serve_throughput.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )

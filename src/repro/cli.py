@@ -10,6 +10,8 @@ The paper's workflow as shell commands::
         --c-out engine.c --firmware-out image.bin
     python -m repro encodings --model model.npz
     python -m repro verify --model model.npz --format block
+    python -m repro serve-bench --model model.npz --devices 4 \
+        --requests 1000 --rate 2000
     python -m repro zoo
 
 Every command prints human-readable results to stdout and exits non-zero
@@ -157,6 +159,94 @@ def _cmd_verify(args) -> int:
     return 2
 
 
+def _cmd_serve_bench(args) -> int:
+    """Replay a synthetic open-loop trace through the serving runtime."""
+    import json
+
+    from repro.deploy.serialization import load_quantized_model
+    from repro.mcu.intermittent import PowerBudget
+    from repro.serve import (
+        FaultPlan,
+        ModelRegistry,
+        ServeConfig,
+        ServeRuntime,
+        synthetic_trace,
+    )
+
+    model = load_quantized_model(args.model)
+    registry = ModelRegistry()
+    artifact = registry.register(model, format_name=args.format)
+    print(f"model {artifact.model_id[:12]} on {artifact.board.name}: "
+          f"{artifact.deployment.latency_ms:.2f} ms/inference, "
+          f"verified={artifact.deployment.verified}")
+
+    inputs = None
+    if args.dataset:
+        from repro.datasets import load
+
+        dataset = load(args.dataset)
+        if dataset.num_features != model.n_in:
+            raise ReproError(
+                f"model expects {model.n_in} features but {args.dataset} "
+                f"has {dataset.num_features}"
+            )
+        inputs = dataset.x_test
+    trace = synthetic_trace(
+        args.requests, args.rate, model.n_in,
+        seed=args.seed, deadline_ms=args.deadline_ms, inputs=inputs,
+    )
+
+    fault_plan = None
+    if args.brownout_rate > 0.0:
+        faulty = (
+            frozenset(args.faulty_devices)
+            if args.faulty_devices else None
+        )
+        fault_plan = FaultPlan(
+            brownout_rate=args.brownout_rate,
+            faulty_devices=faulty,
+            seed=args.seed,
+        )
+    config = ServeConfig(
+        n_devices=args.devices,
+        policy=args.policy,
+        max_queue_depth=args.queue_depth,
+        max_batch=args.batch,
+        max_retries=args.retries,
+        max_queue_wait_ms=args.max_queue_wait_ms,
+        power_budget=(
+            PowerBudget(args.charge_cycles) if args.charge_cycles else None
+        ),
+        fault_plan=fault_plan,
+    )
+    runtime = ServeRuntime(artifact, config)
+    print(f"replaying {args.requests} requests at {args.rate:.0f} req/s "
+          f"over {args.devices} simulated {artifact.board.core} devices "
+          f"(policy={args.policy}, batch<={args.batch}, "
+          f"queue<={args.queue_depth})")
+    report = runtime.replay(trace)
+    print(report.format())
+    if not report.conserved:
+        print("request conservation VIOLATED", file=sys.stderr)
+        return 2
+    if args.json_out:
+        payload = {
+            "model_id": artifact.model_id,
+            "offered": report.offered,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "failed": report.failed,
+            "makespan_ms": report.makespan_ms,
+            "throughput_rps": report.throughput_rps,
+            "device_utilization": report.device_utilization,
+            "metrics": report.metrics,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote metrics JSON to {args.json_out}")
+    return 0
+
+
 def _cmd_encodings(args) -> int:
     from repro.deploy.artifact import analytic_model_latency_ms
     from repro.deploy.serialization import load_quantized_model
@@ -223,6 +313,45 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--format", default="block",
                         choices=("csc", "delta", "mixed", "block"))
 
+    serve = commands.add_parser(
+        "serve-bench",
+        help="replay a synthetic open-loop trace over a pool of "
+             "simulated devices and report fleet throughput/latency",
+    )
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--format", default="block",
+                       choices=("csc", "delta", "mixed", "block"))
+    serve.add_argument("--devices", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=1000)
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       help="offered load, requests per simulated second")
+    serve.add_argument("--policy", default="fifo", choices=("fifo", "edf"))
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--batch", type=int, default=4)
+    serve.add_argument("--retries", type=int, default=2)
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="relative deadline applied to every request")
+    serve.add_argument("--max-queue-wait-ms", type=float, default=50.0,
+                       help="shed requests queued longer than this "
+                            "(simulated ms); pass a large value to "
+                            "disable shedding")
+    serve.add_argument("--brownout-rate", type=float, default=0.0,
+                       help="per-request brown-out probability on "
+                            "faulty devices")
+    serve.add_argument("--faulty-devices", type=int, nargs="*",
+                       default=None,
+                       help="device ids the fault plan applies to "
+                            "(default: all)")
+    serve.add_argument("--charge-cycles", type=int, default=None,
+                       help="run devices on an intermittent power "
+                            "budget of this many cycles per charge")
+    serve.add_argument("--dataset", default=None,
+                       help="draw request inputs from this dataset's "
+                            "test split instead of random vectors")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json-out", default=None,
+                       help="write the full metrics snapshot here")
+
     return parser
 
 
@@ -234,6 +363,7 @@ _HANDLERS = {
     "deploy": _cmd_deploy,
     "encodings": _cmd_encodings,
     "verify": _cmd_verify,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -60,3 +60,43 @@ class TrainingError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid combination of options was requested."""
+
+
+class InvalidInputError(ReproError):
+    """An inference input had the wrong shape, dtype, or value range."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-serving runtime failures.
+
+    Raised (or recorded as a terminal request outcome) by
+    :mod:`repro.serve` when a request cannot be completed — for example
+    when every retry attempt landed on a browning-out device.
+    """
+
+
+class AdmissionError(ServeError):
+    """A request was shed by admission control instead of being queued.
+
+    Carries the machine-readable ``reason`` (``"queue_full"`` or
+    ``"deadline"``) so load generators can distinguish shed classes
+    without parsing the message.
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeviceBrownoutError(ServeError):
+    """A simulated device lost power mid-request.
+
+    The request itself is retryable (layer kernels are idempotent over
+    their checkpointed inputs — see :mod:`repro.mcu.intermittent`); the
+    serving runtime catches this, applies backoff, and retries on a
+    healthy device.  ``device_id`` names the board that failed.
+    """
+
+    def __init__(self, message: str, *, device_id: int | None = None) -> None:
+        super().__init__(message)
+        self.device_id = device_id

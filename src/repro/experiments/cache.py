@@ -10,6 +10,14 @@ Two layers:
   persisted — never model weights — and deleting the directory is always
   safe (results are recomputed).
 
+Concurrency: the disk layer is safe against concurrent benchmark
+workers.  Writes go to a *uniquely named* temporary file in the cache
+directory and are published with an atomic ``os.replace`` — readers can
+never observe a partial JSON file, and two workers racing on one key
+each publish a complete file (last writer wins, both wrote the same
+result).  Within a process, a per-key lock ensures ``compute`` runs at
+most once per key even when many threads ask simultaneously.
+
 Keys embed an experiment schema version; bump the version constant in the
 experiment module when its protocol changes.
 """
@@ -18,10 +26,15 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Callable
 
 _MEMO: dict[str, Any] = {}
+_MEMO_LOCK = threading.Lock()
+#: Per-key locks so concurrent threads compute a key exactly once.
+_KEY_LOCKS: dict[str, threading.Lock] = {}
 
 
 def cache_dir() -> Path:
@@ -31,33 +44,73 @@ def cache_dir() -> Path:
     return path
 
 
+def _key_lock(key: str) -> threading.Lock:
+    with _MEMO_LOCK:
+        return _KEY_LOCKS.setdefault(key, threading.Lock())
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` without a partial-write window.
+
+    The temp file is created with a unique name (two racing writers
+    never share one), filled, flushed, then atomically renamed over the
+    destination.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def cached_json(key: str, compute: Callable[[], Any]) -> Any:
     """Memoized + disk-cached JSON-serializable computation."""
-    if key in _MEMO:
-        return _MEMO[key]
-    path = cache_dir() / f"{key}.json"
-    if path.exists():
-        try:
-            value = json.loads(path.read_text())
+    with _MEMO_LOCK:
+        if key in _MEMO:
+            return _MEMO[key]
+    with _key_lock(key):
+        # Re-check under the key lock: another thread may have finished
+        # computing while this one waited.
+        with _MEMO_LOCK:
+            if key in _MEMO:
+                return _MEMO[key]
+        path = cache_dir() / f"{key}.json"
+        if path.exists():
+            try:
+                value = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                path.unlink(missing_ok=True)  # corrupt entry: recompute
+            else:
+                with _MEMO_LOCK:
+                    _MEMO[key] = value
+                return value
+        value = compute()
+        _write_atomic(path, json.dumps(value, indent=1))
+        with _MEMO_LOCK:
             _MEMO[key] = value
-            return value
-        except (json.JSONDecodeError, OSError):
-            path.unlink(missing_ok=True)  # corrupt entry: recompute
-    value = compute()
-    json.dumps(value)  # fail fast on non-serializable results
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(value, indent=1))
-    tmp.replace(path)
-    _MEMO[key] = value
-    return value
+        return value
 
 
 def memoized(key: str, compute: Callable[[], Any]) -> Any:
     """In-process-only memo (for objects that must not hit disk)."""
-    if key not in _MEMO:
-        _MEMO[key] = compute()
-    return _MEMO[key]
+    with _key_lock(key):
+        with _MEMO_LOCK:
+            if key in _MEMO:
+                return _MEMO[key]
+        value = compute()
+        with _MEMO_LOCK:
+            _MEMO[key] = value
+        return value
 
 
 def clear_memory_cache() -> None:
-    _MEMO.clear()
+    with _MEMO_LOCK:
+        _MEMO.clear()

@@ -1,0 +1,70 @@
+"""Inference-serving runtime over a fleet of simulated MCU devices.
+
+The subsystem turns single-shot ``DeployedModel.infer()`` calls into a
+serving stack: content-addressed model registry with a compiled-kernel
+cache (`registry`), a pool of replica boards with simulated clocks
+(`pool`), bounded policy-ordered scheduling with admission control and
+batching (`scheduler`), fault injection plus retry-with-backoff
+(`faults`, `runtime`), fleet metrics (`metrics`), and open-loop
+synthetic traces (`trace`).  See ``docs/serving.md`` for the
+architecture walk-through.
+"""
+
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.pool import (
+    DISPATCH_OVERHEAD_CYCLES,
+    DeviceExecution,
+    SimulatedDevice,
+    build_pool,
+)
+from repro.serve.registry import (
+    ModelArtifact,
+    ModelRegistry,
+    content_hash,
+)
+from repro.serve.request import (
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    InferenceRequest,
+    ServeOutcome,
+)
+from repro.serve.runtime import ServeConfig, ServeReport, ServeRuntime
+from repro.serve.scheduler import (
+    SCHEDULING_POLICIES,
+    BoundedRequestQueue,
+)
+from repro.serve.trace import synthetic_trace
+
+__all__ = [
+    "BoundedRequestQueue",
+    "COMPLETED",
+    "Counter",
+    "DISPATCH_OVERHEAD_CYCLES",
+    "DeviceExecution",
+    "FAILED",
+    "FaultInjector",
+    "FaultPlan",
+    "Gauge",
+    "Histogram",
+    "InferenceRequest",
+    "MetricsRegistry",
+    "ModelArtifact",
+    "ModelRegistry",
+    "REJECTED",
+    "SCHEDULING_POLICIES",
+    "ServeConfig",
+    "ServeOutcome",
+    "ServeReport",
+    "ServeRuntime",
+    "SimulatedDevice",
+    "build_pool",
+    "content_hash",
+    "synthetic_trace",
+]

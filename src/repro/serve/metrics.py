@@ -1,0 +1,151 @@
+"""Fleet metrics: counters, gauges, and latency/cycle histograms.
+
+The runtime records everything it does into a :class:`MetricsRegistry`;
+``snapshot()`` renders the whole registry as one plain, JSON-serializable
+dict so benchmarks can persist it and dashboards (or tests) can assert
+on it without importing any serve types.
+
+Histograms keep a bounded reservoir of raw observations.  For the sizes
+this repository serves (traces of a few thousand requests) the reservoir
+holds everything and the reported p50/p95/p99 are exact; past the cap,
+uniform reservoir sampling keeps the quantiles unbiased.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+#: Default reservoir capacity; a 1k-request bench fits with headroom.
+RESERVOIR_SIZE = 65_536
+
+
+class Counter:
+    """A monotonically increasing count (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (thread-safe set/add)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Reservoir-sampled distribution with exact small-n quantiles."""
+
+    def __init__(self, capacity: int = RESERVOIR_SIZE, seed: int = 0) -> None:
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+            else:  # Vitter's algorithm R
+                slot = self._rng.randrange(self._count)
+                if slot < self._capacity:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0..1) of the observed distribution, or 0.0."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            total = self._sum
+        if count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "mean": total / count,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshotted as one dict."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything, as plain JSON-serializable values."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(histograms.items())
+            },
+        }

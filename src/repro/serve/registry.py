@@ -1,0 +1,141 @@
+"""Model registry: verified deploy artifacts keyed by content hash.
+
+The serving runtime never trusts a caller-supplied name: a model is
+identified by the SHA-256 of its full integer content (every spec's
+matrices, bias, multipliers, activation widths) plus the deployment
+parameters (encoding, board, block size).  Registering byte-identical
+content twice therefore hits the compiled-kernel cache — codegen and the
+full static-verification suite run exactly once per distinct artifact,
+no matter how many callers or devices ask for it.
+
+Device replicas are produced by deep-copying the cached
+:class:`~repro.deploy.artifact.DeployedModel`: the flashed memory image
+and assembled programs are duplicated byte-for-byte onto each simulated
+board without re-running code generation or verification (the simulator
+analogue of flashing N boards from one signed firmware image).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.deploy.artifact import DeployedModel
+from repro.deploy.deployer import Deployment, deploy
+from repro.errors import ConfigurationError
+from repro.mcu.board import BoardProfile, STM32F072RB
+from repro.quantize.ptq import QuantizedModel
+
+
+def content_hash(
+    quantized: QuantizedModel,
+    format_name: str = "block",
+    board: BoardProfile = STM32F072RB,
+    block_size: int = 256,
+) -> str:
+    """SHA-256 over the model's integer content + deployment parameters."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"fmt={format_name};board={board.name};clock={board.clock_hz};"
+        f"block={block_size};in_scale={quantized.input_scale!r};"
+        f"act={quantized.act_width}".encode()
+    )
+    for spec in quantized.specs:
+        matrix = spec.weights if spec.weights is not None else spec.adjacency
+        digest.update(
+            f"|{spec.n_in},{spec.n_out},{spec.act_in_width},"
+            f"{spec.act_out_width},{spec.relu},{spec.shift}".encode()
+        )
+        digest.update(np.ascontiguousarray(matrix).tobytes())
+        digest.update(np.ascontiguousarray(spec.bias).tobytes())
+        if isinstance(spec.mult, np.ndarray):
+            digest.update(np.ascontiguousarray(spec.mult).tobytes())
+        else:
+            digest.update(repr(spec.mult).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """One registered, verified, cached deployment."""
+
+    model_id: str                 # content hash (hex)
+    deployment: Deployment
+    format_name: str
+    board: BoardProfile
+    block_size: int
+
+    @property
+    def deployed(self) -> DeployedModel:
+        assert self.deployment.model is not None
+        return self.deployment.model
+
+    def replica(self) -> DeployedModel:
+        """A fresh board flashed with this artifact (no re-codegen).
+
+        Each simulated device needs its own RAM, CPU, and timer state;
+        the compiled programs and flash contents are copied verbatim.
+        """
+        return copy.deepcopy(self.deployed)
+
+
+class ModelRegistry:
+    """Content-addressed store of verified deploy artifacts."""
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, ModelArtifact] = {}
+        self._lock = threading.Lock()
+        #: Number of register() calls answered from cache (observable so
+        #: tests and benchmarks can prove the no-re-codegen property).
+        self.cache_hits = 0
+
+    def register(
+        self,
+        quantized: QuantizedModel,
+        format_name: str = "block",
+        board: BoardProfile = STM32F072RB,
+        block_size: int = 256,
+        verify: bool = True,
+    ) -> ModelArtifact:
+        """Deploy + verify the model once; identical content is cached."""
+        model_id = content_hash(quantized, format_name, board, block_size)
+        with self._lock:
+            cached = self._artifacts.get(model_id)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        # Codegen + verification outside the lock: they are the expensive
+        # part, and a duplicate race at worst builds twice and keeps one.
+        deployment = deploy(
+            quantized, format_name=format_name, board=board,
+            block_size=block_size, require_fit=True, verify=verify,
+        )
+        artifact = ModelArtifact(
+            model_id=model_id,
+            deployment=deployment,
+            format_name=format_name,
+            board=board,
+            block_size=block_size,
+        )
+        with self._lock:
+            return self._artifacts.setdefault(model_id, artifact)
+
+    def get(self, model_id: str) -> ModelArtifact:
+        with self._lock:
+            try:
+                return self._artifacts[model_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no model registered under {model_id[:12]}..."
+                ) from None
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def model_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._artifacts)

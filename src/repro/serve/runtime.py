@@ -1,0 +1,444 @@
+"""The serving runtime: request streams over a pool of simulated MCUs.
+
+:class:`ServeRuntime` wires the subsystem together: a verified
+:class:`~repro.serve.registry.ModelArtifact` is replicated onto
+``n_devices`` simulated boards, each driven by its own worker thread;
+requests enter through admission control into one shared policy-ordered
+queue; workers take batches, execute them on the cycle-accurate
+interpreter, and retry brown-outs on healthy devices with capped
+exponential backoff.  Every offered request ends in exactly one terminal
+outcome — completed, rejected, or failed — so the conservation law
+
+    completed + rejected + failed == offered
+
+holds under any fault plan; tests assert it.
+
+Concurrency model: real threads execute simulated devices concurrently
+(the interpreter is pure Python, so device workers interleave on the
+GIL but block only in the queue).  All *reported times are simulated
+milliseconds*: each device advances its own clock by the cycles it
+charges, and a request's latency is its completion time minus its trace
+arrival time on that shared simulated timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeviceBrownoutError,
+    InvalidInputError,
+    ReproError,
+    ServeError,
+)
+from repro.mcu.intermittent import PowerBudget
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.metrics import Histogram, MetricsRegistry
+from repro.serve.pool import SimulatedDevice, build_pool
+from repro.serve.registry import ModelArtifact
+from repro.serve.request import (
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    InferenceRequest,
+    ServeOutcome,
+)
+from repro.serve.scheduler import BoundedRequestQueue
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunable knobs of the runtime."""
+
+    n_devices: int = 4
+    policy: str = "fifo"               # "fifo" | "edf"
+    max_queue_depth: int = 64
+    max_batch: int = 4
+    #: Retries after the first attempt; attempt count is capped at
+    #: ``max_retries + 1`` before the request fails terminally.
+    max_retries: int = 2
+    backoff_base_ms: float = 2.0
+    backoff_cap_ms: float = 50.0
+    #: Drop requests whose deadline already passed when dequeued.
+    shed_expired: bool = True
+    #: Sim-time load shedding: reject a first-attempt request whose queue
+    #: wait (device start − arrival, simulated ms) exceeds this bound.
+    #: The depth bound protects host memory; this bound is what keeps
+    #: *simulated* tail latency finite under open-loop overload, where
+    #: real-time queue occupancy depends on host speed, not offered load.
+    max_queue_wait_ms: float | None = None
+    power_budget: PowerBudget | None = None
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ConfigurationError("need at least one device")
+        if self.max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """End-of-replay summary in simulated time."""
+
+    offered: int
+    completed: int
+    rejected: int
+    failed: int
+    makespan_ms: float
+    throughput_rps: float              # completed per simulated second
+    latency_ms: dict[str, float]       # count/mean/min/max/p50/p95/p99
+    queue_ms: dict[str, float]
+    device_utilization: dict[str, float]
+    metrics: dict[str, Any]            # full MetricsRegistry snapshot
+    outcomes: tuple[ServeOutcome, ...] = field(repr=False, default=())
+
+    @property
+    def conserved(self) -> bool:
+        return self.completed + self.rejected + self.failed == self.offered
+
+    def format(self) -> str:
+        lines = [
+            f"offered {self.offered}  completed {self.completed}  "
+            f"rejected {self.rejected}  failed {self.failed}",
+            f"makespan {self.makespan_ms:.1f} sim-ms  "
+            f"throughput {self.throughput_rps:.1f} req/sim-s",
+            f"latency sim-ms  p50 {self.latency_ms['p50']:.2f}  "
+            f"p95 {self.latency_ms['p95']:.2f}  "
+            f"p99 {self.latency_ms['p99']:.2f}  "
+            f"mean {self.latency_ms['mean']:.2f}",
+            f"queue wait sim-ms  p50 {self.queue_ms['p50']:.2f}  "
+            f"p95 {self.queue_ms['p95']:.2f}",
+        ]
+        for name, value in sorted(self.device_utilization.items()):
+            lines.append(f"{name} utilization {value * 100:5.1f}%")
+        return "\n".join(lines)
+
+
+class ServeRuntime:
+    """Multi-device inference server over one registered model."""
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.artifact = artifact
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        injector = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None else None
+        )
+        self.devices: list[SimulatedDevice] = build_pool(
+            artifact,
+            self.config.n_devices,
+            power_budget=self.config.power_budget,
+            injector=injector,
+        )
+        self.queue = BoundedRequestQueue(
+            policy=self.config.policy,
+            max_depth=self.config.max_queue_depth,
+            n_devices=self.config.n_devices,
+        )
+        self._threads: list[threading.Thread] = []
+        self._outcomes: list[ServeOutcome] = []
+        self._outcome_lock = threading.Lock()
+        self._offered = 0
+        self._last_arrival_ms = 0.0
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for device in self.devices:
+            thread = threading.Thread(
+                target=self._worker,
+                args=(device,),
+                name=f"serve-device-{device.device_id}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def drain(self) -> None:
+        """Stop admissions, serve everything queued, join the workers."""
+        self.queue.close()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "ServeRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    # -- producer API ----------------------------------------------------
+
+    def submit(self, request: InferenceRequest) -> bool:
+        """Offer one request; returns False when admission shed it."""
+        if not self._started:
+            raise ServeError("runtime not started (use start() or `with`)")
+        self._offered += 1
+        self._last_arrival_ms = max(self._last_arrival_ms,
+                                    request.arrival_ms)
+        self.metrics.counter("requests.offered").inc()
+        try:
+            self.queue.offer(request)
+        except AdmissionError as exc:
+            self._record(
+                ServeOutcome(
+                    request_id=request.request_id,
+                    status=REJECTED,
+                    attempts=request.attempts,
+                    reason=exc.reason,
+                )
+            )
+            self.metrics.counter("requests.rejected").inc()
+            self.metrics.counter(f"rejected.{exc.reason}").inc()
+            return False
+        self.metrics.gauge("queue.depth").set(self.queue.depth)
+        return True
+
+    def replay(
+        self, trace: list[InferenceRequest], *, pace: bool = True
+    ) -> ServeReport:
+        """Open-loop replay: offer the whole trace, drain, report.
+
+        With ``pace`` (the default) arrivals are gated on the fleet's
+        *simulated* clock: while a backlog exists, a request is not
+        offered until the fleet has simulated up to its arrival time.
+        Without pacing the driver floods the queue at host speed, and
+        queue-depth rejections measure the host's interpreter speed
+        rather than offered load versus fleet capacity.  Instantaneous
+        bursts still hit the depth bound; sustained overload surfaces
+        as growing simulated queue wait (see ``max_queue_wait_ms``).
+        """
+        self.start()
+        for request in trace:
+            if pace:
+                while (
+                    self.queue.depth > 0
+                    and self._fleet_clock_ms() < request.arrival_ms
+                ):
+                    time.sleep(0.0002)
+            self.submit(request)
+        self.drain()
+        return self.report()
+
+    def _fleet_clock_ms(self) -> float:
+        """How far the fleet has simulated (furthest device clock).
+
+        Racy cross-thread float reads are fine here: the value is used
+        only to pace the replay driver, never for accounting.
+        """
+        return max(device.clock_ms for device in self.devices)
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker(self, device: SimulatedDevice) -> None:
+        while True:
+            batch = self.queue.take_batch(
+                device.device_id, self.config.max_batch
+            )
+            if batch is None:
+                return
+            if not batch:
+                continue
+            try:
+                device.begin_dispatch()
+                self.metrics.counter("batches.dispatched").inc()
+                self.metrics.histogram("batch_size").observe(len(batch))
+                for request in batch:
+                    self._serve_one(device, request)
+            finally:
+                self.queue.batch_done()
+            self.metrics.gauge("queue.depth").set(self.queue.depth)
+
+    def _serve_one(
+        self, device: SimulatedDevice, request: InferenceRequest
+    ) -> None:
+        if (
+            self.config.shed_expired
+            and request.deadline_ms is not None
+            and max(device.clock_ms, request.earliest_start_ms)
+            > request.deadline_ms
+        ):
+            # Shedding at dequeue: executing a request that already
+            # missed its deadline wastes device time everyone else pays.
+            self._record(
+                ServeOutcome(
+                    request_id=request.request_id,
+                    status=REJECTED,
+                    attempts=request.attempts + 1,
+                    reason="deadline",
+                )
+            )
+            self.metrics.counter("requests.rejected").inc()
+            self.metrics.counter("rejected.deadline").inc()
+            return
+        if (
+            self.config.max_queue_wait_ms is not None
+            and request.attempts == 0  # retries are never shed
+        ):
+            wait = (
+                max(device.clock_ms, request.earliest_start_ms)
+                - request.arrival_ms
+            )
+            if wait > self.config.max_queue_wait_ms:
+                self._record(
+                    ServeOutcome(
+                        request_id=request.request_id,
+                        status=REJECTED,
+                        attempts=request.attempts + 1,
+                        reason="queue_wait",
+                    )
+                )
+                self.metrics.counter("requests.rejected").inc()
+                self.metrics.counter("rejected.queue_wait").inc()
+                return
+        try:
+            execution = device.execute(request)
+        except DeviceBrownoutError:
+            self.metrics.counter("device.brownouts").inc()
+            self._retry_or_fail(device, request)
+            return
+        except InvalidInputError as exc:
+            self._record(
+                ServeOutcome(
+                    request_id=request.request_id,
+                    status=FAILED,
+                    device_id=device.device_id,
+                    attempts=request.attempts + 1,
+                    reason=f"invalid_input: {exc}",
+                )
+            )
+            self.metrics.counter("requests.failed").inc()
+            return
+        except ReproError as exc:
+            # Any other library error is terminal for this request but
+            # must never kill the worker thread: conservation requires
+            # one outcome per offered request.
+            self._record(
+                ServeOutcome(
+                    request_id=request.request_id,
+                    status=FAILED,
+                    device_id=device.device_id,
+                    attempts=request.attempts + 1,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            self.metrics.counter("requests.failed").inc()
+            return
+        latency = execution.end_ms - request.arrival_ms
+        queue_wait = execution.start_ms - request.arrival_ms
+        self._record(
+            ServeOutcome(
+                request_id=request.request_id,
+                status=COMPLETED,
+                label=execution.label,
+                device_id=device.device_id,
+                cycles=execution.cycles,
+                latency_ms=latency,
+                queue_ms=queue_wait,
+                attempts=request.attempts + 1,
+            )
+        )
+        self.metrics.counter("requests.completed").inc()
+        self.metrics.histogram("latency_ms").observe(latency)
+        self.metrics.histogram("queue_ms").observe(queue_wait)
+        self.metrics.histogram("cycles").observe(execution.cycles)
+
+    def _retry_or_fail(
+        self, device: SimulatedDevice, request: InferenceRequest
+    ) -> None:
+        attempts_done = request.attempts + 1
+        if attempts_done > self.config.max_retries:
+            self._record(
+                ServeOutcome(
+                    request_id=request.request_id,
+                    status=FAILED,
+                    device_id=device.device_id,
+                    attempts=attempts_done,
+                    reason=(
+                        f"brown-out on every attempt "
+                        f"({attempts_done} tries, retry cap reached)"
+                    ),
+                )
+            )
+            self.metrics.counter("requests.failed").inc()
+            return
+        request.attempts = attempts_done
+        request.avoid_device = device.device_id
+        backoff = min(
+            self.config.backoff_cap_ms,
+            self.config.backoff_base_ms * (2 ** (attempts_done - 1)),
+        )
+        request.backoff_ms += backoff
+        self.metrics.counter("requests.retries").inc()
+        # Already admitted once: retries bypass admission control so no
+        # request can be both rejected and failed.
+        self.queue.offer(request, force=True)
+
+    # -- reporting -------------------------------------------------------
+
+    def _record(self, outcome: ServeOutcome) -> None:
+        with self._outcome_lock:
+            self._outcomes.append(outcome)
+
+    @property
+    def outcomes(self) -> tuple[ServeOutcome, ...]:
+        with self._outcome_lock:
+            return tuple(self._outcomes)
+
+    def report(self) -> ServeReport:
+        outcomes = self.outcomes
+        completed = sum(1 for o in outcomes if o.status == COMPLETED)
+        rejected = sum(1 for o in outcomes if o.status == REJECTED)
+        failed = sum(1 for o in outcomes if o.status == FAILED)
+        makespan = max(
+            [self._last_arrival_ms]
+            + [device.clock_ms for device in self.devices]
+        )
+        utilization = {}
+        for device in self.devices:
+            value = device.utilization(makespan)
+            utilization[f"device.{device.device_id}"] = value
+            self.metrics.gauge(
+                f"device.{device.device_id}.utilization"
+            ).set(value)
+        snapshot = self.metrics.snapshot()
+        throughput = (
+            completed / (makespan / 1e3) if makespan > 0.0 else 0.0
+        )
+        return ServeReport(
+            offered=self._offered,
+            completed=completed,
+            rejected=rejected,
+            failed=failed,
+            makespan_ms=makespan,
+            throughput_rps=throughput,
+            latency_ms=snapshot["histograms"].get(
+                "latency_ms", Histogram().summary()
+            ),
+            queue_ms=snapshot["histograms"].get(
+                "queue_ms", Histogram().summary()
+            ),
+            device_utilization=utilization,
+            metrics=snapshot,
+            outcomes=outcomes,
+        )

@@ -1,0 +1,170 @@
+"""Request scheduling: bounded queues, policies, batching, admission.
+
+The queue is the runtime's only shared mutable structure, so all
+cross-thread coordination lives here:
+
+- **Bounded depth + admission control** — `offer()` sheds load with a
+  typed :class:`~repro.errors.AdmissionError` when the queue is full
+  instead of queueing without bound (an open-loop arrival process would
+  otherwise grow the queue — and tail latency — indefinitely).  Retries
+  of already-admitted requests re-enter with ``force=True``; admission
+  is decided once per request, at the door.
+- **Policies** — ``"fifo"`` serves in arrival order; ``"edf"``
+  (earliest deadline first) orders by absolute deadline, deadline-less
+  requests last.  Both are heaps over a policy-specific key with a
+  monotonic sequence number as the tiebreaker, so equal keys still
+  serve in arrival order.
+- **Batching** — a device takes up to ``max_batch`` requests per
+  dispatch; the fixed per-dispatch overhead is paid once per batch.
+- **Brown-out affinity** — a retried request remembers the device that
+  failed it (``avoid_device``); `take_batch()` skips those entries so
+  the retry lands on a healthy board (ignored for single-device pools,
+  where there is no healthier board to prefer).
+- **In-flight tracking** — a worker draining a closed queue only gets
+  the exit signal once no other worker holds an in-flight batch.  A
+  batch being executed elsewhere may still brown out and re-enter the
+  queue; exiting early could strand that retry with no worker willing
+  to take it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.serve.request import InferenceRequest
+
+SCHEDULING_POLICIES = ("fifo", "edf")
+
+
+def _policy_key(policy: str, request: InferenceRequest) -> tuple:
+    if policy == "fifo":
+        return (request.seq,)
+    # EDF: earliest absolute deadline first; best-effort requests last.
+    deadline = (
+        request.deadline_ms if request.deadline_ms is not None
+        else float("inf")
+    )
+    return (deadline, request.seq)
+
+
+class BoundedRequestQueue:
+    """Thread-safe, policy-ordered, depth-bounded request queue."""
+
+    def __init__(
+        self,
+        policy: str = "fifo",
+        max_depth: int = 64,
+        n_devices: int = 1,
+    ) -> None:
+        if policy not in SCHEDULING_POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {policy!r}; "
+                f"expected one of {SCHEDULING_POLICIES}"
+            )
+        if max_depth <= 0:
+            raise ConfigurationError("queue depth must be positive")
+        self.policy = policy
+        self.max_depth = max_depth
+        self.n_devices = n_devices
+        self._heap: list[tuple[tuple, int, InferenceRequest]] = []
+        self._cv = threading.Condition()
+        self._closed = False
+        self._seq = itertools.count()
+        self._in_flight = 0
+
+    # -- producer side ---------------------------------------------------
+
+    def offer(self, request: InferenceRequest, *, force: bool = False) -> None:
+        """Admit a request, or shed it with a typed rejection.
+
+        ``force`` bypasses the depth bound (and the closed check) for
+        requests that were already admitted once — retries must never be
+        re-subjected to admission control or they could be lost.
+        """
+        with self._cv:
+            if not force:
+                if self._closed:
+                    raise AdmissionError(
+                        "runtime is draining; request not admitted",
+                        reason="draining",
+                    )
+                if len(self._heap) >= self.max_depth:
+                    raise AdmissionError(
+                        f"queue full ({self.max_depth} pending); "
+                        f"request {request.request_id} shed",
+                        reason="queue_full",
+                    )
+            request.seq = next(self._seq)
+            heapq.heappush(
+                self._heap,
+                (_policy_key(self.policy, request), request.seq, request),
+            )
+            self._cv.notify()
+
+    def close(self) -> None:
+        """Stop external admissions; wake consumers to drain and exit."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    # -- consumer side ---------------------------------------------------
+
+    def take_batch(
+        self,
+        device_id: int,
+        max_batch: int,
+        timeout: float = 0.05,
+    ) -> list[InferenceRequest] | None:
+        """Up to ``max_batch`` requests for one dispatch.
+
+        Returns ``[]`` when nothing eligible arrived within ``timeout``
+        and ``None`` when the queue is closed, empty, and no other
+        worker holds an in-flight batch (the worker's signal to exit —
+        in-flight work elsewhere may yet brown out and re-enter).
+        Callers must pair every non-empty batch with one
+        :meth:`batch_done` call.
+        """
+        with self._cv:
+            while True:
+                batch, skipped = [], []
+                honour_avoid = self.n_devices > 1
+                while self._heap and len(batch) < max_batch:
+                    key, seq, request = heapq.heappop(self._heap)
+                    if (
+                        honour_avoid
+                        and request.avoid_device == device_id
+                    ):
+                        skipped.append((key, seq, request))
+                    else:
+                        batch.append(request)
+                for entry in skipped:
+                    heapq.heappush(self._heap, entry)
+                if skipped and not batch:
+                    # Everything pending avoids this device; let another
+                    # worker grab it.
+                    self._cv.notify()
+                if batch:
+                    self._in_flight += 1
+                    return batch
+                if (
+                    self._closed and not self._heap
+                    and self._in_flight == 0
+                ):
+                    return None
+                if not self._cv.wait(timeout):
+                    return []
+
+    def batch_done(self) -> None:
+        """Mark one taken batch as fully processed (retries included)."""
+        with self._cv:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._cv.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._cv:
+            return len(self._heap)

@@ -1,0 +1,130 @@
+"""Concurrent access to the experiment cache (ISSUE-2 satellite).
+
+Concurrent benchmark workers hammer one key: no interleaved partial
+JSON on disk, compute runs once per process, every reader sees the
+complete value.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache.clear_memory_cache()
+    yield tmp_path
+    cache.clear_memory_cache()
+
+
+class TestCachedJsonConcurrency:
+    def test_one_key_hammered_by_many_threads(self, isolated_cache):
+        calls = []
+        payload = {"rows": list(range(500)), "note": "x" * 1000}
+
+        def compute():
+            calls.append(1)
+            return payload
+
+        results = [None] * 16
+        errors = []
+
+        def worker(slot):
+            try:
+                results[slot] = cache.cached_json("hammered", compute)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert len(calls) == 1                 # computed exactly once
+        assert all(r == payload for r in results)
+        on_disk = json.loads(
+            (isolated_cache / "hammered.json").read_text()
+        )
+        assert on_disk == payload
+        # No leftover temp files from the atomic-write protocol.
+        assert list(isolated_cache.glob("*.tmp")) == []
+
+    def test_distinct_keys_do_not_serialize_each_other(self,
+                                                       isolated_cache):
+        # A slow computation on one key must not block another key
+        # (per-key locking, not one global lock around compute()).
+        order = []
+        gate = threading.Event()
+
+        def slow():
+            gate.wait(timeout=5.0)
+            order.append("slow")
+            return "slow-value"
+
+        def fast():
+            order.append("fast")
+            return "fast-value"
+
+        slow_thread = threading.Thread(
+            target=cache.cached_json, args=("slow-key", slow)
+        )
+        slow_thread.start()
+        assert cache.cached_json("fast-key", fast) == "fast-value"
+        gate.set()
+        slow_thread.join()
+        assert order == ["fast", "slow"]
+
+    def test_concurrent_process_style_writers_never_corrupt(
+        self, isolated_cache
+    ):
+        # Simulate two independent processes (no shared memo): both
+        # write the same key directly via the atomic protocol; the file
+        # is always complete JSON.
+        path = isolated_cache / "contended.json"
+        blob_a = json.dumps({"who": "a", "data": list(range(2000))})
+        blob_b = json.dumps({"who": "b", "data": list(range(2000))})
+        stop = threading.Event()
+        seen_partial = []
+
+        def writer(blob):
+            while not stop.is_set():
+                cache._write_atomic(path, blob)
+
+        def reader():
+            while not stop.is_set():
+                if path.exists():
+                    try:
+                        json.loads(path.read_text())
+                    except json.JSONDecodeError:
+                        seen_partial.append(True)
+
+        threads = [
+            threading.Thread(target=writer, args=(blob_a,)),
+            threading.Thread(target=writer, args=(blob_b,)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert not seen_partial
+        assert json.loads(path.read_text())["who"] in ("a", "b")
+
+    def test_corrupt_entry_recomputed(self, isolated_cache):
+        (isolated_cache / "broken.json").write_text("{not json")
+        value = cache.cached_json("broken", lambda: {"ok": True})
+        assert value == {"ok": True}
+        assert json.loads(
+            (isolated_cache / "broken.json").read_text()
+        ) == {"ok": True}

@@ -148,6 +148,44 @@ class TestVerify:
         assert "verification FAILED" in captured.err
 
 
+class TestServeBench:
+    def test_serve_bench_reports_fleet_metrics(
+        self, model_file, tmp_path, capsys
+    ):
+        json_out = tmp_path / "metrics.json"
+        assert main(
+            [
+                "serve-bench", "--model", model_file, "--devices", "2",
+                "--requests", "40", "--rate", "500", "--seed", "3",
+                "--json-out", str(json_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offered 40" in out
+        assert "throughput" in out
+        assert "utilization" in out
+        import json
+        payload = json.loads(json_out.read_text())
+        assert (
+            payload["completed"] + payload["rejected"] + payload["failed"]
+            == payload["offered"] == 40
+        )
+        assert "latency_ms" in payload["metrics"]["histograms"]
+
+    def test_serve_bench_with_faults_conserves_requests(
+        self, model_file, capsys
+    ):
+        assert main(
+            [
+                "serve-bench", "--model", model_file, "--devices", "2",
+                "--requests", "30", "--rate", "500", "--seed", "7",
+                "--brownout-rate", "0.3", "--retries", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offered 30" in out
+
+
 class TestTrain:
     def test_train_writes_a_loadable_model(self, tmp_path, capsys):
         out_file = tmp_path / "trained.npz"

@@ -1,0 +1,81 @@
+"""The metrics layer: counters, gauges, histograms, snapshots."""
+
+import json
+import threading
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_thread_safe(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_gauge_set_add(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.add(1.5)
+        assert gauge.value == 5.0
+
+
+class TestHistogram:
+    def test_exact_quantiles_small_n(self):
+        hist = Histogram()
+        for value in range(1, 101):          # 1..100
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] in (50.0, 51.0)
+        assert summary["p95"] in (95.0, 96.0)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_reservoir_keeps_count_past_capacity(self):
+        hist = Histogram(capacity=16)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert hist.count == 1000
+        assert len(hist._samples) == 16
+        summary = hist.summary()
+        assert summary["min"] == 0.0 and summary["max"] == 999.0
+
+
+class TestRegistry:
+    def test_same_name_same_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency_ms").observe(1.5)
+        snapshot = registry.snapshot()
+        encoded = json.loads(json.dumps(snapshot))
+        assert encoded["counters"]["requests"] == 3
+        assert encoded["gauges"]["depth"] == 7
+        assert encoded["histograms"]["latency_ms"]["count"] == 1

@@ -1,0 +1,65 @@
+"""Model registry: content addressing, kernel cache, replicas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import ModelRegistry, content_hash
+
+
+class TestContentHash:
+    def test_stable_across_calls(self, small_trained):
+        first = content_hash(small_trained.quantized)
+        second = content_hash(small_trained.quantized)
+        assert first == second
+        assert len(first) == 64          # sha256 hex
+
+    def test_sensitive_to_deploy_parameters(self, small_trained):
+        quantized = small_trained.quantized
+        assert content_hash(quantized, "block") != \
+            content_hash(quantized, "csc")
+        assert content_hash(quantized, block_size=256) != \
+            content_hash(quantized, block_size=128)
+
+    def test_sensitive_to_weights(self, small_trained, trained_neuroc):
+        assert content_hash(small_trained.quantized) != \
+            content_hash(trained_neuroc.quantized)
+
+
+class TestRegistryCache:
+    def test_identical_content_never_recodegens(self, small_trained):
+        registry = ModelRegistry()
+        first = registry.register(small_trained.quantized)
+        second = registry.register(small_trained.quantized)
+        assert first is second           # same artifact object: cached
+        assert registry.cache_hits == 1
+        assert len(registry) == 1
+
+    def test_verified_by_construction(self, small_artifact):
+        assert small_artifact.deployment.verified
+
+    def test_get_unknown_id_is_typed(self):
+        with pytest.raises(ConfigurationError):
+            ModelRegistry().get("deadbeef" * 8)
+
+
+class TestReplicas:
+    def test_replica_is_independent_state(self, small_artifact,
+                                           digits_small):
+        a = small_artifact.replica()
+        b = small_artifact.replica()
+        assert a is not b
+        assert a.memory is not b.memory  # own RAM per board
+        x = digits_small.x_test[0]
+        ra, rb = a.infer(x), b.infer(x)
+        assert ra.label == rb.label
+        assert ra.cycles == rb.cycles
+
+    def test_replica_matches_reference_backend(self, small_artifact,
+                                               small_trained,
+                                               digits_small):
+        replica = small_artifact.replica()
+        x = digits_small.x_test[:10]
+        on_device = np.array([replica.infer(row).label for row in x])
+        reference = small_trained.quantized.predict(x)
+        assert np.array_equal(on_device, reference)
