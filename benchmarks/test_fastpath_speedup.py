@@ -1,0 +1,143 @@
+"""Host-side speedup of the fastpath engine over the interpreter.
+
+Runs every kernel encoding (dense, unrolled-dense, and all four sparse
+formats) on both engines, measures host wall-clock per inference with
+``time.perf_counter``, and persists the per-encoding speedups plus
+their geometric mean to ``benchmarks/results/fastpath_speedup.json``
+(CI uploads it as an artifact).
+
+The acceptance bar from ISSUE 3 is a >=10x geometric-mean speedup.
+Simulated numbers (cycles, instruction counts) must be identical
+between engines — this benchmark re-asserts that on every measured
+run, so the speedup figure can never drift away from exactness.
+
+Set ``REPRO_FASTPATH_BENCH_REPEATS`` to shrink/grow the timing loop
+(default 5 repeats, best-of); the translation cost is excluded by a
+warm-up run, matching how the serve registry amortizes it.
+"""
+
+import json
+import os
+import time
+from statistics import geometric_mean
+
+import numpy as np
+
+from _output import RESULTS_DIR, emit
+from repro.core.adjacency import clustered_adjacency
+from repro.kernels.codegen_dense import generate_dense
+from repro.kernels.codegen_sparse import SPARSE_FORMATS, generate_sparse
+from repro.kernels.codegen_unrolled import generate_dense_unrolled
+from repro.kernels.spec import make_dense_spec, make_neuroc_spec
+from repro.mcu.board import STM32F072RB
+from repro.mcu.fastpath import make_cpu
+
+REPEATS = int(os.environ.get("REPRO_FASTPATH_BENCH_REPEATS", "5"))
+SPEEDUP_FLOOR = 10.0
+
+
+def _sparse_spec(n_in=256, n_out=32, density=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    adjacency = clustered_adjacency(n_in, n_out, density, rng)
+    return make_neuroc_spec(
+        adjacency=adjacency,
+        bias=rng.integers(-100, 100, n_out).astype(np.int32),
+        mult=rng.integers(50, 200, n_out).astype(np.int16),
+        shift=10, act_in_width=2, act_out_width=2, relu=True,
+    )
+
+
+def _dense_spec(n_in=256, n_out=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return make_dense_spec(
+        weights=rng.integers(-8, 9, (n_in, n_out)).astype(np.int8),
+        bias=rng.integers(-100, 100, n_out).astype(np.int32),
+        mult=rng.integers(50, 200, n_out).astype(np.int16),
+        shift=10, act_in_width=2, act_out_width=2, relu=True,
+    )
+
+
+def _encodings():
+    yield "dense", generate_dense(_dense_spec())
+    yield "dense-unroll4", generate_dense_unrolled(_dense_spec(), unroll=4)
+    for fmt in SPARSE_FORMATS:
+        yield f"sparse-{fmt}", generate_sparse(_sparse_spec(), fmt)
+
+
+def _fill_input(image, spec_n_in=256, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-2, 2, image.input_count)
+    image.write_input(x)
+
+
+def _best_seconds(cpu, program, repeats=REPEATS):
+    """Best-of-N wall-clock for one run; first call warms translation."""
+    cpu.run(program)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = cpu.run(program)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fastpath_speedup_geomean():
+    rows = []
+    for name, image in _encodings():
+        _fill_input(image)
+        fast_cpu = make_cpu(
+            image.memory, costs=STM32F072RB.costs, engine="fastpath"
+        )
+        interp_cpu = make_cpu(
+            image.memory, costs=STM32F072RB.costs, engine="interpreter"
+        )
+        fast_s, fast_result = _best_seconds(fast_cpu, image.program)
+        interp_s, interp_result = _best_seconds(interp_cpu, image.program)
+        assert fast_cpu.last_engine == "fastpath", name
+        # Exactness guard: a "speedup" that changes the simulated
+        # numbers would be a correctness bug, not an optimization.
+        assert fast_result.cycles == interp_result.cycles, name
+        assert fast_result.instructions == interp_result.instructions, name
+        assert fast_result.registers == interp_result.registers, name
+        rows.append({
+            "encoding": name,
+            "instructions": interp_result.instructions,
+            "cycles": interp_result.cycles,
+            "interpreter_s": interp_s,
+            "fastpath_s": fast_s,
+            "speedup": interp_s / fast_s,
+            "interpreter_mips": interp_result.instructions / interp_s / 1e6,
+            "fastpath_mips": fast_result.instructions / fast_s / 1e6,
+        })
+
+    speedup_geomean = geometric_mean(r["speedup"] for r in rows)
+
+    lines = [
+        f"{'encoding':16s} {'instrs':>8s} {'interp ms':>10s} "
+        f"{'fast ms':>9s} {'speedup':>8s} {'fast MIPS':>10s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['encoding']:16s} {r['instructions']:8d} "
+            f"{r['interpreter_s'] * 1e3:10.2f} "
+            f"{r['fastpath_s'] * 1e3:9.3f} "
+            f"{r['speedup']:7.1f}x {r['fastpath_mips']:10.1f}"
+        )
+    lines.append(f"geomean speedup: {speedup_geomean:.1f}x "
+                 f"(floor: {SPEEDUP_FLOOR:.0f}x)")
+    emit("fastpath_speedup", "\n".join(lines))
+
+    payload = {
+        "repeats": REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_geomean": speedup_geomean,
+        "encodings": rows,
+    }
+    (RESULTS_DIR / "fastpath_speedup.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    assert speedup_geomean >= SPEEDUP_FLOOR, (
+        f"geomean speedup {speedup_geomean:.1f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x acceptance floor"
+    )

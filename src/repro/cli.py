@@ -218,12 +218,13 @@ def _cmd_serve_bench(args) -> int:
             PowerBudget(args.charge_cycles) if args.charge_cycles else None
         ),
         fault_plan=fault_plan,
+        engine=args.engine,
     )
     runtime = ServeRuntime(artifact, config)
     print(f"replaying {args.requests} requests at {args.rate:.0f} req/s "
           f"over {args.devices} simulated {artifact.board.core} devices "
-          f"(policy={args.policy}, batch<={args.batch}, "
-          f"queue<={args.queue_depth})")
+          f"(engine={args.engine}, policy={args.policy}, "
+          f"batch<={args.batch}, queue<={args.queue_depth})")
     report = runtime.replay(trace)
     print(report.format())
     if not report.conserved:
@@ -232,6 +233,7 @@ def _cmd_serve_bench(args) -> int:
     if args.json_out:
         payload = {
             "model_id": artifact.model_id,
+            "engine": report.engine,
             "offered": report.offered,
             "completed": report.completed,
             "rejected": report.rejected,
@@ -325,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=1000)
     serve.add_argument("--rate", type=float, default=2000.0,
                        help="offered load, requests per simulated second")
+    serve.add_argument("--engine", default="fastpath",
+                       choices=("fastpath", "interpreter"),
+                       help="execution engine for device replicas: the "
+                            "basic-block translating engine (default) or "
+                            "the reference interpreter")
     serve.add_argument("--policy", default="fifo", choices=("fifo", "edf"))
     serve.add_argument("--queue-depth", type=int, default=256)
     serve.add_argument("--batch", type=int, default=4)

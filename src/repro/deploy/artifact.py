@@ -6,8 +6,12 @@ constant arrays are placed into the board's flash, activations ping-pong
 between two RAM buffers, and inference runs layer programs in sequence on
 the cycle-counting CPU.
 
-Latency is available two ways — measured (interpreter) and analytical
-(operation counts) — and the two always agree; tests enforce it.
+Latency is available two ways — measured (cycle-exact execution) and
+analytical (operation counts) — and the two always agree; tests enforce
+it.  Execution uses the basic-block translating engine by default
+(``engine="fastpath"``); pass ``engine="interpreter"`` for the reference
+interpreter — both produce identical registers, memory, and cycle counts
+(see :mod:`repro.mcu.fastpath`).
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from repro.kernels.codegen_dense import count_dense, generate_dense
 from repro.kernels.codegen_sparse import count_sparse, generate_sparse
 from repro.kernels.opcount import OpCount
 from repro.mcu.board import BoardProfile, STM32F072RB
-from repro.mcu.cpu import CPU
+from repro.mcu.fastpath import DEFAULT_ENGINE, ENGINES, make_cpu
 from repro.mcu.memory import Allocator
 from repro.mcu.profiler import Tim2
 from repro.quantize.ptq import QuantizedModel
@@ -51,11 +55,17 @@ class DeployedModel:
         format_name: str = "block",
         board: BoardProfile = STM32F072RB,
         block_size: int = 256,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; known: {ENGINES}"
+            )
         self.quantized = quantized
         self.format_name = format_name
         self.board = board
         self.block_size = block_size
+        self.engine = engine
         self.memory = board.make_memory()
 
         specs = quantized.specs
@@ -95,8 +105,37 @@ class DeployedModel:
                 f"model does not fit {board.name}: {exc}"
             ) from exc
 
-        self._cpu = CPU(self.memory, costs=board.costs)
+        self._cpu = make_cpu(self.memory, costs=board.costs, engine=engine)
         self.timer = Tim2(board.clock_hz)
+
+    def warm_translations(self) -> int:
+        """Translate every layer program ahead of the first inference.
+
+        Returns the number of layer programs the translator accepted.
+        Translations live in the process-wide cache keyed by program
+        content, so replicas flashed from this artifact reuse them; a
+        no-op (returning 0) under ``engine="interpreter"``.
+        """
+        from repro.mcu.fastpath import FastCPU
+
+        if not isinstance(self._cpu, FastCPU):
+            return 0
+        return sum(
+            self._cpu.translation(image.program) is not None
+            for image in self.images
+        )
+
+    def set_engine(self, engine: str) -> None:
+        """Switch execution engine in place (e.g. for verification runs)."""
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; known: {ENGINES}"
+            )
+        if engine != self.engine:
+            self.engine = engine
+            self._cpu = make_cpu(
+                self.memory, costs=self.board.costs, engine=engine
+            )
 
     # -- inference ----------------------------------------------------------
 

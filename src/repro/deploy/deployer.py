@@ -12,6 +12,7 @@ from repro.deploy.artifact import DeployedModel, analytic_model_latency_ms
 from repro.deploy.size import ProgramMemoryReport, model_program_memory
 from repro.errors import BudgetExceededError
 from repro.mcu.board import BoardProfile, STM32F072RB
+from repro.mcu.fastpath import DEFAULT_ENGINE
 from repro.quantize.ptq import QuantizedModel
 
 
@@ -44,6 +45,7 @@ def deploy(
     block_size: int = 256,
     require_fit: bool = False,
     verify: bool = True,
+    engine: str = DEFAULT_ENGINE,
 ) -> Deployment:
     """Size, check, verify, and (when it fits) flash a quantized model.
 
@@ -70,7 +72,7 @@ def deploy(
     if memory_report.fits(board):
         model = DeployedModel(
             quantized, format_name=format_name, board=board,
-            block_size=block_size,
+            block_size=block_size, engine=engine,
         )
         if verify:
             verification = verify_deployed_model(model)

@@ -29,7 +29,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.analysis.taint import verify_static_control_flow
 from repro.mcu.board import BoardProfile, STM32F072RB
-from repro.mcu.cpu import CPU, ExecutionResult
+from repro.mcu.cpu import ExecutionResult
+from repro.mcu.fastpath import DEFAULT_ENGINE, make_cpu
 from repro.mcu.isa import Assembler, Program, Reg
 from repro.mcu.memory import Allocator, MemoryMap
 
@@ -68,9 +69,20 @@ class KernelImage:
             signed=True,
         )
 
-    def run(self, board: BoardProfile = STM32F072RB) -> ExecutionResult:
-        """Execute once on a fresh CPU bound to this image's memory."""
-        return CPU(self.memory, costs=board.costs).run(self.program)
+    def run(
+        self,
+        board: BoardProfile = STM32F072RB,
+        engine: str = DEFAULT_ENGINE,
+    ) -> ExecutionResult:
+        """Execute once on a fresh engine bound to this image's memory.
+
+        ``engine="fastpath"`` (default) runs the basic-block translating
+        engine; ``engine="interpreter"`` forces the reference CPU (see
+        :mod:`repro.mcu.fastpath` for the bit-exactness contract).
+        """
+        return make_cpu(
+            self.memory, costs=board.costs, engine=engine
+        ).run(self.program)
 
 
 def load_signed(asm: Assembler, rd: Reg, base: Reg, offset, width: int):

@@ -32,9 +32,19 @@ from repro.mcu.interrupts import (
     run_with_interrupts,
     worst_case_latency_ms,
 )
+from repro.mcu.fastpath import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    FastCPU,
+    TranslatedProgram,
+    clear_translation_cache,
+    make_cpu,
+    translate,
+    translation_cache_stats,
+)
 from repro.mcu.isa import Assembler, Instr, Op, Program, Reg
 from repro.mcu.memory import Allocator, MemoryMap, Region
-from repro.mcu.profiler import LatencyReport, Profiler
+from repro.mcu.profiler import BlockProfile, LatencyReport, Profiler
 from repro.mcu.timer import Tim2
 
 __all__ = [
@@ -52,11 +62,15 @@ __all__ = [
     "run_with_interrupts",
     "worst_case_latency_ms",
     "Allocator",
+    "BlockProfile",
     "BoardProfile",
     "CORTEX_M4_REFERENCE",
     "CPU",
     "CycleCosts",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "ExecutionResult",
+    "FastCPU",
     "Instr",
     "LatencyReport",
     "MCU_CLASSES",
@@ -69,6 +83,11 @@ __all__ = [
     "Region",
     "STM32F072RB",
     "Tim2",
+    "TranslatedProgram",
     "classify_board",
+    "clear_translation_cache",
     "format_mcu_class_table",
+    "make_cpu",
+    "translate",
+    "translation_cache_stats",
 ]

@@ -47,6 +47,29 @@ class BoardProfile:
         """A fresh memory map with this board's flash/RAM budgets."""
         return MemoryMap.stm32(flash_kb=self.flash_kb, ram_kb=self.ram_kb)
 
+    def make_cpu(
+        self,
+        memory: MemoryMap,
+        engine: str | None = None,
+        max_instructions: int = 200_000_000,
+    ):
+        """An execution engine priced with this board's cost table.
+
+        ``engine`` is ``"fastpath"`` (translating engine, the default) or
+        ``"interpreter"`` (the reference :class:`~repro.mcu.cpu.CPU`);
+        see :mod:`repro.mcu.fastpath` for the exactness contract.
+        """
+        # Imported lazily: repro.analysis.report imports this module, and
+        # the fastpath translator reaches back into repro.analysis.cfg.
+        from repro.mcu.fastpath import DEFAULT_ENGINE, make_cpu
+
+        return make_cpu(
+            memory,
+            costs=self.costs,
+            max_instructions=max_instructions,
+            engine=engine or DEFAULT_ENGINE,
+        )
+
 
 #: The paper's evaluation board: STM32F072RB at 8 MHz, -Os, bare metal.
 STM32F072RB = BoardProfile(

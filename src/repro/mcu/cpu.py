@@ -102,6 +102,26 @@ class ExecutionResult:
         return _to_signed(self.registers[r])
 
 
+#: Op enumeration order used for the index-by-op count/cost vectors below.
+_OPS = tuple(Op)
+_OP_INDEX = {op: i for i, op in enumerate(_OPS)}
+#: Per-cost-table (plain, taken) cycle vectors indexed by op ordinal, so
+#: the hot loop charges cycles with one list index instead of a
+#: ``cost_of`` call per instruction.  ``CycleCosts`` is frozen/hashable.
+_COST_VECTORS: dict[CycleCosts, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+
+def _cost_vectors(
+    costs: CycleCosts,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    vectors = _COST_VECTORS.get(costs)
+    if vectors is None:
+        plain = tuple(costs.cost_of(op) for op in _OPS)
+        taken = tuple(costs.cost_of(op, taken=True) for op in _OPS)
+        vectors = _COST_VECTORS[costs] = (plain, taken)
+    return vectors
+
+
 class CPU:
     """Executes programs, charging cycles per the cost table."""
 
@@ -121,15 +141,16 @@ class CPU:
         """Execute ``program`` until ``HALT``; return cycles and final state."""
         regs = [0] * NUM_REGS
         for r, value in (registers or {}).items():
-            regs[r] = value & _MASK32
+            regs[r] = int(value) & _MASK32
 
         flag_n = flag_z = flag_v = False
         pc = 0
         cycles = 0
         executed = 0
-        op_counts: dict[Op, int] = {}
+        counts = [0] * len(_OPS)
+        op_index = _OP_INDEX
+        plain_cost, taken_cost = _cost_vectors(self.costs)
         instructions = program.instructions
-        costs = self.costs
         memory = self.memory
 
         while True:
@@ -146,7 +167,8 @@ class CPU:
                 ) from None
             executed += 1
             op = instr.op
-            op_counts[op] = op_counts.get(op, 0) + 1
+            op_ordinal = op_index[op]
+            counts[op_ordinal] += 1
             ops = instr.operands
             taken = False
             next_pc = pc + 1
@@ -205,12 +227,19 @@ class CPU:
                 if taken:
                     next_pc = ops[0]
             elif op is Op.HALT:
-                cycles += costs.cost_of(op)
-                return ExecutionResult(cycles, executed, regs, op_counts)
+                cycles += plain_cost[op_ordinal]
+                op_counts = {
+                    _OPS[i]: c for i, c in enumerate(counts) if c
+                }
+                # Return a *copy*: callers must not be able to mutate
+                # result registers through a reference the CPU retains.
+                return ExecutionResult(
+                    cycles, executed, list(regs), op_counts
+                )
             else:  # pragma: no cover - all opcodes handled above
                 raise ExecutionError(f"unhandled opcode {op!r}")
 
-            cycles += costs.cost_of(op, taken)
+            cycles += taken_cost[op_ordinal] if taken else plain_cost[op_ordinal]
             pc = next_pc
 
 

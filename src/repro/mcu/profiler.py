@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ExecutionError
+from repro.errors import ConfigurationError, ExecutionError
 from repro.mcu.board import BoardProfile
-from repro.mcu.cpu import CPU, ExecutionResult
+from repro.mcu.cpu import ExecutionResult
+from repro.mcu.fastpath import DEFAULT_ENGINE, FastCPU, make_cpu
 from repro.mcu.isa import Program, Reg
 from repro.mcu.memory import MemoryMap
 from repro.mcu.timer import Tim2
@@ -35,13 +36,35 @@ class LatencyReport:
         return self.cycles_min == self.cycles_max
 
 
+@dataclass(frozen=True)
+class BlockProfile:
+    """Cycles attributed to one basic block over a single execution."""
+
+    block_id: int
+    start: int                 # first instruction index (inclusive)
+    end: int                   # last instruction index (inclusive)
+    executions: int
+    taken: int                 # conditional-branch taken count
+    cycles: int
+
+    @property
+    def instructions_executed(self) -> int:
+        return self.executions * (self.end - self.start + 1)
+
+
 class Profiler:
     """Times program executions on a board, TIM2-style."""
 
-    def __init__(self, board: BoardProfile, memory: MemoryMap) -> None:
+    def __init__(
+        self,
+        board: BoardProfile,
+        memory: MemoryMap,
+        engine: str = DEFAULT_ENGINE,
+    ) -> None:
         self.board = board
         self.memory = memory
-        self.cpu = CPU(memory, costs=board.costs)
+        self.engine = engine
+        self.cpu = make_cpu(memory, costs=board.costs, engine=engine)
         self.timer = Tim2(board.clock_hz)
 
     def run_once(
@@ -78,3 +101,40 @@ class Profiler:
             ),
             instructions=instructions,
         )
+
+    def profile_blocks(
+        self, program: Program, registers: dict[Reg, int] | None = None
+    ) -> tuple[ExecutionResult, tuple[BlockProfile, ...]]:
+        """Run once and attribute the cycle total to each basic block.
+
+        Requires the ``fastpath`` engine (the attribution comes from the
+        translation's per-block execution counters); the per-block cycle
+        totals sum exactly to ``result.cycles``.
+        """
+        if not isinstance(self.cpu, FastCPU):
+            raise ConfigurationError(
+                "per-block cycle attribution requires engine='fastpath' "
+                f"(profiler was built with engine={self.engine!r})"
+            )
+        result = self.run_once(program, registers)
+        translation = self.cpu.last_translation
+        if translation is None:
+            raise ConfigurationError(
+                f"program {program.name!r} was declined by the translator; "
+                "no per-block attribution is available"
+            )
+        block_counts = self.cpu.last_block_counts
+        taken_counts = self.cpu.last_taken_counts
+        cycles = translation.block_cycles(block_counts, taken_counts)
+        profiles = tuple(
+            BlockProfile(
+                block_id=k,
+                start=translation.block_spans[k][0],
+                end=translation.block_spans[k][1],
+                executions=block_counts[k],
+                taken=taken_counts[k],
+                cycles=cycles[k],
+            )
+            for k in range(translation.n_blocks)
+        )
+        return result, profiles

@@ -122,7 +122,19 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._labels: dict[str, str] = {}
         self._lock = threading.Lock()
+
+    def label(self, name: str, value: str | None = None) -> str | None:
+        """Set (or, with ``value=None``, read) a string-valued label.
+
+        Labels carry run metadata — e.g. which execution engine produced
+        a benchmark snapshot — so persisted JSONs are self-describing.
+        """
+        with self._lock:
+            if value is not None:
+                self._labels[name] = str(value)
+            return self._labels.get(name)
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -142,10 +154,12 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            labels = dict(self._labels)
         return {
             "counters": {k: c.value for k, c in sorted(counters.items())},
             "gauges": {k: g.value for k, g in sorted(gauges.items())},
             "histograms": {
                 k: h.summary() for k, h in sorted(histograms.items())
             },
+            "labels": dict(sorted(labels.items())),
         }

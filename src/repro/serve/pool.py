@@ -48,10 +48,11 @@ class SimulatedDevice:
         *,
         power_budget: PowerBudget | None = None,
         injector: FaultInjector | None = None,
+        engine: str | None = None,
     ) -> None:
         self.device_id = device_id
         self.board: BoardProfile = artifact.board
-        self.deployed = artifact.replica()
+        self.deployed = artifact.replica(engine=engine)
         self.injector = injector
         self.power_budget = power_budget
         self._intermittent = (
@@ -133,6 +134,7 @@ def build_pool(
     *,
     power_budget: PowerBudget | None = None,
     injector: FaultInjector | None = None,
+    engine: str | None = None,
 ) -> list[SimulatedDevice]:
     """Flash ``n_devices`` replicas of one verified artifact."""
     return [
@@ -141,6 +143,7 @@ def build_pool(
             artifact=artifact,
             power_budget=power_budget,
             injector=injector,
+            engine=engine,
         )
         for i in range(n_devices)
     ]

@@ -28,6 +28,7 @@ from repro.deploy.artifact import DeployedModel
 from repro.deploy.deployer import Deployment, deploy
 from repro.errors import ConfigurationError
 from repro.mcu.board import BoardProfile, STM32F072RB
+from repro.mcu.fastpath import DEFAULT_ENGINE
 from repro.quantize.ptq import QuantizedModel
 
 
@@ -74,13 +75,20 @@ class ModelArtifact:
         assert self.deployment.model is not None
         return self.deployment.model
 
-    def replica(self) -> DeployedModel:
+    def replica(self, engine: str | None = None) -> DeployedModel:
         """A fresh board flashed with this artifact (no re-codegen).
 
         Each simulated device needs its own RAM, CPU, and timer state;
-        the compiled programs and flash contents are copied verbatim.
+        the compiled programs and flash contents are copied verbatim,
+        and fastpath translations are shared (they are immutable and
+        cached process-wide by program content, so N replicas compile
+        each layer exactly once).  ``engine`` overrides the execution
+        engine for this replica only.
         """
-        return copy.deepcopy(self.deployed)
+        replica = copy.deepcopy(self.deployed)
+        if engine is not None:
+            replica.set_engine(engine)
+        return replica
 
 
 class ModelRegistry:
@@ -100,8 +108,14 @@ class ModelRegistry:
         board: BoardProfile = STM32F072RB,
         block_size: int = 256,
         verify: bool = True,
+        engine: str = DEFAULT_ENGINE,
     ) -> ModelArtifact:
-        """Deploy + verify the model once; identical content is cached."""
+        """Deploy + verify the model once; identical content is cached.
+
+        Fastpath translations are warmed here, next to codegen and
+        verification, so they too run exactly once per distinct artifact
+        — every later replica reuses the process-wide translation cache.
+        """
         model_id = content_hash(quantized, format_name, board, block_size)
         with self._lock:
             cached = self._artifacts.get(model_id)
@@ -113,7 +127,10 @@ class ModelRegistry:
         deployment = deploy(
             quantized, format_name=format_name, board=board,
             block_size=block_size, require_fit=True, verify=verify,
+            engine=engine,
         )
+        assert deployment.model is not None
+        deployment.model.warm_translations()
         artifact = ModelArtifact(
             model_id=model_id,
             deployment=deployment,

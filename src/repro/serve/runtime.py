@@ -4,9 +4,10 @@
 :class:`~repro.serve.registry.ModelArtifact` is replicated onto
 ``n_devices`` simulated boards, each driven by its own worker thread;
 requests enter through admission control into one shared policy-ordered
-queue; workers take batches, execute them on the cycle-accurate
-interpreter, and retry brown-outs on healthy devices with capped
-exponential backoff.  Every offered request ends in exactly one terminal
+queue; workers take batches, execute them cycle-exactly (on the fastpath
+translating engine by default — ``ServeConfig.engine`` selects the
+reference interpreter instead), and retry brown-outs on healthy devices
+with capped exponential backoff.  Every offered request ends in exactly one terminal
 outcome — completed, rejected, or failed — so the conservation law
 
     completed + rejected + failed == offered
@@ -36,6 +37,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.mcu.fastpath import DEFAULT_ENGINE, ENGINES
 from repro.mcu.intermittent import PowerBudget
 from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import Histogram, MetricsRegistry
@@ -74,6 +76,9 @@ class ServeConfig:
     max_queue_wait_ms: float | None = None
     power_budget: PowerBudget | None = None
     fault_plan: FaultPlan | None = None
+    #: Execution engine for every device replica: ``"fastpath"`` (the
+    #: translating engine, default) or ``"interpreter"`` (reference CPU).
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -82,6 +87,10 @@ class ServeConfig:
             raise ConfigurationError("max_batch must be positive")
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -98,6 +107,7 @@ class ServeReport:
     queue_ms: dict[str, float]
     device_utilization: dict[str, float]
     metrics: dict[str, Any]            # full MetricsRegistry snapshot
+    engine: str = DEFAULT_ENGINE       # execution engine the fleet ran on
     outcomes: tuple[ServeOutcome, ...] = field(repr=False, default=())
 
     @property
@@ -143,7 +153,9 @@ class ServeRuntime:
             self.config.n_devices,
             power_budget=self.config.power_budget,
             injector=injector,
+            engine=self.config.engine,
         )
+        self.metrics.label("engine", self.config.engine)
         self.queue = BoundedRequestQueue(
             policy=self.config.policy,
             max_depth=self.config.max_queue_depth,
@@ -440,5 +452,6 @@ class ServeRuntime:
             ),
             device_utilization=utilization,
             metrics=snapshot,
+            engine=self.config.engine,
             outcomes=outcomes,
         )

@@ -1,0 +1,175 @@
+"""Flag semantics at the 32-bit boundaries, on both execution engines.
+
+The signed-overflow (V) flag is the easiest thing to get wrong in a
+translator: Python integers never wrap, so V must be derived from the
+*unwrapped* difference.  These tests pin the CMP/CMPI/SUBSI flag
+behaviour at INT_MIN/INT_MAX, where naive "lhs < rhs" comparisons give
+the wrong branch direction, and assert the two engines agree on every
+case.
+"""
+
+import pytest
+
+from repro.mcu.fastpath import ENGINES, make_cpu
+from repro.mcu.isa import Assembler, Reg
+from repro.mcu.memory import MemoryMap
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+
+def _branch_select(compare, branch):
+    """R12 = 1 if the branch is taken after ``compare``, else 0."""
+    asm = Assembler("flag-edge")
+    compare(asm)
+    getattr(asm, branch)("taken")
+    asm.movi(Reg.R12, 0)
+    asm.halt()
+    asm.label("taken")
+    asm.movi(Reg.R12, 1)
+    asm.halt()
+    return asm.assemble()
+
+
+def _run(program, registers, engine):
+    cpu = make_cpu(MemoryMap.stm32(), engine=engine)
+    return cpu.run(program, registers)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSignedOverflowBoundaries:
+    """Cases where the V flag flips the branch against naive intuition."""
+
+    def check(self, engine, compare, registers, expectations):
+        for branch, expect_taken in expectations.items():
+            program = _branch_select(compare, branch)
+            result = _run(program, dict(registers), engine)
+            assert result.reg(Reg.R12) == int(expect_taken), (
+                f"{branch} with {registers}: "
+                f"expected taken={expect_taken} on {engine}"
+            )
+
+    def test_int_min_minus_one_overflows(self, engine):
+        # INT_MIN - 1 wraps to INT_MAX: N=0 but V=1, so INT_MIN < 1
+        # still holds (BLT taken) even though the wrapped diff is huge
+        # and positive.
+        self.check(
+            engine,
+            lambda asm: asm.cmpi(Reg.R0, 1),
+            {Reg.R0: INT_MIN},
+            {"blt": True, "bge": False, "bgt": False, "ble": True,
+             "beq": False, "bne": True},
+        )
+
+    def test_int_max_minus_negative_overflows(self, engine):
+        # INT_MAX - (-1) = 2^31: N=1 but V=1, so INT_MAX > -1 (BGT
+        # taken) even though the wrapped diff looks negative.
+        self.check(
+            engine,
+            lambda asm: asm.cmpi(Reg.R0, -1),
+            {Reg.R0: INT_MAX},
+            {"bgt": True, "bge": True, "blt": False, "ble": False,
+             "beq": False, "bne": True},
+        )
+
+    def test_cmp_register_form_at_the_same_boundary(self, engine):
+        self.check(
+            engine,
+            lambda asm: asm.cmp(Reg.R0, Reg.R1),
+            {Reg.R0: INT_MIN, Reg.R1: 1},
+            {"blt": True, "bge": False},
+        )
+        self.check(
+            engine,
+            lambda asm: asm.cmp(Reg.R0, Reg.R1),
+            {Reg.R0: INT_MAX, Reg.R1: -1},
+            {"bgt": True, "ble": False},
+        )
+
+    def test_cmpi_against_negative_immediate(self, engine):
+        # The immediate is compared *unmasked*: -5 means -5, not
+        # 0xFFFFFFFB.  R0 = -3 (masked in the register file) is greater.
+        self.check(
+            engine,
+            lambda asm: asm.cmpi(Reg.R0, -5),
+            {Reg.R0: -3},
+            {"bgt": True, "blt": False, "beq": False},
+        )
+        self.check(
+            engine,
+            lambda asm: asm.cmpi(Reg.R0, -5),
+            {Reg.R0: -5},
+            {"beq": True, "bne": False, "bge": True, "ble": True},
+        )
+
+    def test_equal_at_int_min(self, engine):
+        self.check(
+            engine,
+            lambda asm: asm.cmpi(Reg.R0, INT_MIN),
+            {Reg.R0: INT_MIN},
+            {"beq": True, "blt": False, "bgt": False, "bge": True,
+             "ble": True},
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSubsiWraparound:
+    def test_subsi_at_int_min_wraps_and_sets_v(self, engine):
+        # R1 = INT_MIN - 1 wraps to INT_MAX; the flags must still say
+        # "went below INT_MIN" (BLT taken), and the stored value is the
+        # wrapped bit pattern.
+        asm = Assembler("wrap")
+        asm.subsi(Reg.R1, Reg.R0, 1)
+        asm.blt("under")
+        asm.movi(Reg.R12, 0)
+        asm.halt()
+        asm.label("under")
+        asm.movi(Reg.R12, 1)
+        asm.halt()
+        result = _run(asm.assemble(), {Reg.R0: INT_MIN}, engine)
+        assert result.reg(Reg.R12) == 1
+        assert result.registers[1] == INT_MAX
+
+    def test_subsi_zero_result_sets_z_not_v(self, engine):
+        asm = Assembler("zero")
+        asm.subsi(Reg.R1, Reg.R0, INT_MIN)
+        asm.beq("eq")
+        asm.movi(Reg.R12, 0)
+        asm.halt()
+        asm.label("eq")
+        asm.movi(Reg.R12, 1)
+        asm.halt()
+        result = _run(asm.assemble(), {Reg.R0: INT_MIN}, engine)
+        assert result.reg(Reg.R12) == 1
+        assert result.registers[1] == 0
+
+
+def test_engines_agree_on_a_dense_boundary_sweep():
+    """Every (lhs, rhs, branch) combination over the boundary set."""
+    values = (INT_MIN, INT_MIN + 1, -2, -1, 0, 1, 2, INT_MAX - 1, INT_MAX)
+    branches = ("beq", "bne", "blt", "bge", "bgt", "ble")
+    programs = {
+        branch: _branch_select(
+            lambda asm: asm.cmp(Reg.R0, Reg.R1), branch
+        )
+        for branch in branches
+    }
+    for lhs in values:
+        for rhs in values:
+            for branch, program in programs.items():
+                registers = {Reg.R0: lhs, Reg.R1: rhs}
+                outcomes = {
+                    engine: _run(program, dict(registers), engine).reg(Reg.R12)
+                    for engine in ENGINES
+                }
+                assert outcomes["fastpath"] == outcomes["interpreter"], (
+                    f"{branch}: lhs={lhs} rhs={rhs} diverged: {outcomes}"
+                )
+                # Ground truth: the branch direction must match plain
+                # signed comparison of the unwrapped values.
+                expected = {
+                    "beq": lhs == rhs, "bne": lhs != rhs,
+                    "blt": lhs < rhs, "bge": lhs >= rhs,
+                    "bgt": lhs > rhs, "ble": lhs <= rhs,
+                }[branch]
+                assert outcomes["fastpath"] == int(expected)
