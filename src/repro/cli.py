@@ -171,6 +171,7 @@ def _cmd_serve_bench(args) -> int:
         ServeConfig,
         ServeRuntime,
         synthetic_trace,
+        verify_trace_invariants,
     )
 
     model = load_quantized_model(args.model)
@@ -230,6 +231,24 @@ def _cmd_serve_bench(args) -> int:
     if not report.conserved:
         print("request conservation VIOLATED", file=sys.stderr)
         return 2
+    if report.trace is not None:
+        violations = verify_trace_invariants(report)
+        if violations:
+            for violation in violations:
+                print(f"trace invariant VIOLATED: {violation}",
+                      file=sys.stderr)
+            return 2
+        if args.trace:
+            report.trace.write_chrome_trace(
+                args.trace,
+                labels={"model_id": artifact.model_id,
+                        "engine": report.engine},
+            )
+            print(f"wrote Chrome trace JSON to {args.trace} "
+                  f"({len(report.trace)} spans; open in "
+                  f"https://ui.perfetto.dev)")
+        if args.trace_request is not None:
+            print(report.trace.timeline(args.trace_request))
     if args.json_out:
         payload = {
             "model_id": artifact.model_id,
@@ -358,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json-out", default=None,
                        help="write the full metrics snapshot here")
+    serve.add_argument("--trace", default=None,
+                       help="write per-request span tracing as Chrome "
+                            "trace-event JSON here (view in Perfetto)")
+    serve.add_argument("--trace-request", type=int, default=None,
+                       help="print the plain-text span timeline of one "
+                            "request id after the replay")
 
     return parser
 

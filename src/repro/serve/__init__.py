@@ -41,11 +41,20 @@ from repro.serve.scheduler import (
     BoundedRequestQueue,
 )
 from repro.serve.trace import synthetic_trace
+from repro.serve.tracing import (
+    DEVICE_BUSY_KINDS,
+    SPAN_KINDS,
+    TERMINAL_KINDS,
+    Span,
+    TraceCollector,
+    verify_trace_invariants,
+)
 
 __all__ = [
     "BoundedRequestQueue",
     "COMPLETED",
     "Counter",
+    "DEVICE_BUSY_KINDS",
     "DISPATCH_OVERHEAD_CYCLES",
     "DeviceExecution",
     "FAILED",
@@ -59,12 +68,17 @@ __all__ = [
     "ModelRegistry",
     "REJECTED",
     "SCHEDULING_POLICIES",
+    "SPAN_KINDS",
     "ServeConfig",
     "ServeOutcome",
     "ServeReport",
     "ServeRuntime",
     "SimulatedDevice",
+    "Span",
+    "TERMINAL_KINDS",
+    "TraceCollector",
     "build_pool",
     "content_hash",
     "synthetic_trace",
+    "verify_trace_invariants",
 ]

@@ -98,20 +98,33 @@ class Histogram:
         return ordered[index]
 
     def summary(self) -> dict[str, float]:
+        # Snapshot every field under ONE lock acquisition: a concurrent
+        # observe() between piecemeal reads would yield a summary whose
+        # count, extrema, and quantiles come from different instants
+        # (e.g. a max larger than the latest observed value the count
+        # accounts for).
         with self._lock:
             count = self._count
             total = self._sum
+            minimum = self._min
+            maximum = self._max
+            ordered = sorted(self._samples)
         if count == 0:
             return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+        def quantile(q: float) -> float:
+            index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+            return ordered[index]
+
         return {
             "count": count,
             "mean": total / count,
-            "min": self._min,
-            "max": self._max,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "min": minimum,
+            "max": maximum,
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+            "p99": quantile(0.99),
         }
 
 

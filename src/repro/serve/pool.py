@@ -22,6 +22,7 @@ from repro.mcu.intermittent import IntermittentDeployment, PowerBudget
 from repro.serve.faults import BROWNOUT_WASTE_FRACTION, FaultInjector
 from repro.serve.registry import ModelArtifact
 from repro.serve.request import InferenceRequest
+from repro.serve.tracing import Span, TraceCollector
 
 #: Fixed per-dispatch cost (host link interrupt + input DMA setup),
 #: charged once per *batch* — the cycles batching amortizes.
@@ -49,11 +50,13 @@ class SimulatedDevice:
         power_budget: PowerBudget | None = None,
         injector: FaultInjector | None = None,
         engine: str | None = None,
+        tracer: TraceCollector | None = None,
     ) -> None:
         self.device_id = device_id
         self.board: BoardProfile = artifact.board
         self.deployed = artifact.replica(engine=engine)
         self.injector = injector
+        self.tracer = tracer
         self.power_budget = power_budget
         self._intermittent = (
             IntermittentDeployment(self.deployed, self.board)
@@ -68,12 +71,48 @@ class SimulatedDevice:
         self.dispatches = 0
         self._nominal_ms = self.deployed.analytic_latency_ms()
 
-    def begin_dispatch(self) -> None:
-        """Charge the fixed per-batch dispatch overhead."""
+    def _emit(
+        self,
+        kind: str,
+        start_ms: float,
+        end_ms: float,
+        request: InferenceRequest | None = None,
+        detail: str | None = None,
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.record(
+            Span(
+                kind=kind,
+                start_ms=start_ms,
+                end_ms=end_ms,
+                request_id=(
+                    request.request_id if request is not None else None
+                ),
+                device_id=self.device_id,
+                attempt=(request.attempts + 1) if request is not None else 0,
+                detail=detail,
+            )
+        )
+
+    def begin_dispatch(self, earliest_start_ms: float = 0.0) -> None:
+        """Charge the fixed per-batch dispatch overhead.
+
+        The overhead lands on the *post-idle-jump* timeline: an idle
+        device first jumps forward to the earliest start of the batch it
+        is about to serve (it cannot begin the host-link transfer before
+        any request in the batch is eligible), then pays the overhead as
+        genuinely busy time.  Charging it before the jump — the pre-fix
+        behaviour — let the idle gap absorb the overhead while it was
+        still counted as busy, overstating utilization and understating
+        the first request's queue wait.
+        """
         self.dispatches += 1
         overhead_ms = self.board.cycles_to_ms(DISPATCH_OVERHEAD_CYCLES)
-        self.clock_ms += overhead_ms
+        start = max(self.clock_ms, earliest_start_ms)
+        self.clock_ms = start + overhead_ms
         self.busy_ms += overhead_ms
+        self._emit("dispatch_overhead", start, self.clock_ms)
 
     def execute(self, request: InferenceRequest) -> DeviceExecution:
         """Run one admitted request; may raise ``DeviceBrownoutError``.
@@ -88,6 +127,8 @@ class SimulatedDevice:
             self.clock_ms = start + waste_ms
             self.busy_ms += waste_ms
             self.brownouts += 1
+            self._emit("retry", start, self.clock_ms, request,
+                       detail="brownout")
             raise DeviceBrownoutError(
                 f"device {self.device_id} lost power mid-request "
                 f"{request.request_id}",
@@ -105,6 +146,8 @@ class SimulatedDevice:
                 self.clock_ms = start + waste_ms
                 self.busy_ms += waste_ms
                 self.brownouts += 1
+                self._emit("retry", start, self.clock_ms, request,
+                           detail="budget_brownout")
                 raise DeviceBrownoutError(
                     f"device {self.device_id} browned out: {exc}",
                     device_id=self.device_id,
@@ -117,6 +160,7 @@ class SimulatedDevice:
         self.clock_ms = start + exec_ms
         self.busy_ms += exec_ms
         self.completed += 1
+        self._emit("execute", start, self.clock_ms, request)
         return DeviceExecution(
             label=label, cycles=cycles, start_ms=start, end_ms=self.clock_ms
         )
@@ -135,6 +179,7 @@ def build_pool(
     power_budget: PowerBudget | None = None,
     injector: FaultInjector | None = None,
     engine: str | None = None,
+    tracer: TraceCollector | None = None,
 ) -> list[SimulatedDevice]:
     """Flash ``n_devices`` replicas of one verified artifact."""
     return [
@@ -144,6 +189,7 @@ def build_pool(
             power_budget=power_budget,
             injector=injector,
             engine=engine,
+            tracer=tracer,
         )
         for i in range(n_devices)
     ]

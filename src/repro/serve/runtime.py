@@ -51,6 +51,11 @@ from repro.serve.request import (
     ServeOutcome,
 )
 from repro.serve.scheduler import BoundedRequestQueue
+from repro.serve.tracing import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    TraceCollector,
+)
 
 
 @dataclass(frozen=True)
@@ -79,6 +84,11 @@ class ServeConfig:
     #: Execution engine for every device replica: ``"fastpath"`` (the
     #: translating engine, default) or ``"interpreter"`` (reference CPU).
     engine: str = DEFAULT_ENGINE
+    #: Per-request span tracing (see :mod:`repro.serve.tracing`).  On by
+    #: default — the collector is bounded, so long replays degrade to
+    #: dropped spans rather than unbounded memory.
+    tracing: bool = True
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -91,6 +101,8 @@ class ServeConfig:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}"
             )
+        if self.trace_capacity <= 0:
+            raise ConfigurationError("trace_capacity must be positive")
 
 
 @dataclass(frozen=True)
@@ -109,6 +121,11 @@ class ServeReport:
     metrics: dict[str, Any]            # full MetricsRegistry snapshot
     engine: str = DEFAULT_ENGINE       # execution engine the fleet ran on
     outcomes: tuple[ServeOutcome, ...] = field(repr=False, default=())
+    #: Raw per-device busy time — what utilization is computed from, and
+    #: what the trace invariant ``busy_ms == Σ busy spans`` checks.
+    device_busy_ms: dict[str, float] = field(default_factory=dict)
+    #: The replay's span collector (``None`` when tracing is off).
+    trace: TraceCollector | None = field(repr=False, default=None)
 
     @property
     def conserved(self) -> bool:
@@ -144,6 +161,10 @@ class ServeRuntime:
         self.artifact = artifact
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer: TraceCollector | None = (
+            TraceCollector(self.config.trace_capacity)
+            if self.config.tracing else None
+        )
         injector = (
             FaultInjector(self.config.fault_plan)
             if self.config.fault_plan is not None else None
@@ -154,6 +175,7 @@ class ServeRuntime:
             power_budget=self.config.power_budget,
             injector=injector,
             engine=self.config.engine,
+            tracer=self.tracer,
         )
         self.metrics.label("engine", self.config.engine)
         self.queue = BoundedRequestQueue(
@@ -164,6 +186,9 @@ class ServeRuntime:
         self._threads: list[threading.Thread] = []
         self._outcomes: list[ServeOutcome] = []
         self._outcome_lock = threading.Lock()
+        # Guards the admission-side tallies below: `submit()` may be
+        # called from many producer threads, and `n += 1` is not atomic.
+        self._arrival_lock = threading.Lock()
         self._offered = 0
         self._last_arrival_ms = 0.0
         self._started = False
@@ -205,9 +230,10 @@ class ServeRuntime:
         """Offer one request; returns False when admission shed it."""
         if not self._started:
             raise ServeError("runtime not started (use start() or `with`)")
-        self._offered += 1
-        self._last_arrival_ms = max(self._last_arrival_ms,
-                                    request.arrival_ms)
+        with self._arrival_lock:
+            self._offered += 1
+            self._last_arrival_ms = max(self._last_arrival_ms,
+                                        request.arrival_ms)
         self.metrics.counter("requests.offered").inc()
         try:
             self.queue.offer(request)
@@ -220,9 +246,12 @@ class ServeRuntime:
                     reason=exc.reason,
                 )
             )
+            self._span(request, "shed", request.arrival_ms,
+                       detail=exc.reason)
             self.metrics.counter("requests.rejected").inc()
             self.metrics.counter(f"rejected.{exc.reason}").inc()
             return False
+        self._span(request, "admitted", request.arrival_ms)
         self.metrics.gauge("queue.depth").set(self.queue.depth)
         return True
 
@@ -272,7 +301,9 @@ class ServeRuntime:
             if not batch:
                 continue
             try:
-                device.begin_dispatch()
+                device.begin_dispatch(
+                    min(r.earliest_start_ms for r in batch)
+                )
                 self.metrics.counter("batches.dispatched").inc()
                 self.metrics.histogram("batch_size").observe(len(batch))
                 for request in batch:
@@ -284,12 +315,44 @@ class ServeRuntime:
     def _serve_one(
         self, device: SimulatedDevice, request: InferenceRequest
     ) -> None:
+        # Where this attempt would start serving: the device cannot run
+        # a request before it is eligible (arrival + backoff), and the
+        # request cannot start before the device's clock.  Matches the
+        # `start` the device computes in `execute()`.
+        service_start = max(device.clock_ms, request.earliest_start_ms)
+        # The attempt's queueing interval: eligible-to-run until service
+        # start.  First attempts become eligible at arrival; retries at
+        # the end of their backoff.
+        queued_from = (
+            request.arrival_ms if request.attempts == 0
+            else request.earliest_start_ms
+        )
         if (
             self.config.shed_expired
             and request.deadline_ms is not None
-            and max(device.clock_ms, request.earliest_start_ms)
-            > request.deadline_ms
+            and service_start > request.deadline_ms
         ):
+            self._span(request, "queued", queued_from, service_start)
+            if request.attempts > 0:
+                # A retried request was admitted once, at the door — the
+                # scheduler contract says it can never be *rejected*
+                # afterwards.  Backoff pushing it past its deadline is a
+                # terminal *failure* (mirroring the queue_wait rule that
+                # retries are never shed).
+                self._record(
+                    ServeOutcome(
+                        request_id=request.request_id,
+                        status=FAILED,
+                        device_id=device.device_id,
+                        attempts=request.attempts + 1,
+                        reason="deadline_after_retry",
+                    )
+                )
+                self._span(request, "failed", service_start,
+                           detail="deadline_after_retry")
+                self.metrics.counter("requests.failed").inc()
+                self.metrics.counter("failed.deadline_after_retry").inc()
+                return
             # Shedding at dequeue: executing a request that already
             # missed its deadline wastes device time everyone else pays.
             self._record(
@@ -300,6 +363,7 @@ class ServeRuntime:
                     reason="deadline",
                 )
             )
+            self._span(request, "shed", service_start, detail="deadline")
             self.metrics.counter("requests.rejected").inc()
             self.metrics.counter("rejected.deadline").inc()
             return
@@ -307,10 +371,7 @@ class ServeRuntime:
             self.config.max_queue_wait_ms is not None
             and request.attempts == 0  # retries are never shed
         ):
-            wait = (
-                max(device.clock_ms, request.earliest_start_ms)
-                - request.arrival_ms
-            )
+            wait = service_start - request.arrival_ms
             if wait > self.config.max_queue_wait_ms:
                 self._record(
                     ServeOutcome(
@@ -320,9 +381,13 @@ class ServeRuntime:
                         reason="queue_wait",
                     )
                 )
+                self._span(request, "queued", queued_from, service_start)
+                self._span(request, "shed", service_start,
+                           detail="queue_wait")
                 self.metrics.counter("requests.rejected").inc()
                 self.metrics.counter("rejected.queue_wait").inc()
                 return
+        self._span(request, "queued", queued_from, service_start)
         try:
             execution = device.execute(request)
         except DeviceBrownoutError:
@@ -339,6 +404,8 @@ class ServeRuntime:
                     reason=f"invalid_input: {exc}",
                 )
             )
+            self._span(request, "failed", service_start,
+                       detail="invalid_input")
             self.metrics.counter("requests.failed").inc()
             return
         except ReproError as exc:
@@ -354,6 +421,8 @@ class ServeRuntime:
                     reason=f"{type(exc).__name__}: {exc}",
                 )
             )
+            self._span(request, "failed", service_start,
+                       detail=type(exc).__name__)
             self.metrics.counter("requests.failed").inc()
             return
         latency = execution.end_ms - request.arrival_ms
@@ -370,6 +439,7 @@ class ServeRuntime:
                 attempts=request.attempts + 1,
             )
         )
+        self._span(request, "completed", execution.end_ms)
         self.metrics.counter("requests.completed").inc()
         self.metrics.histogram("latency_ms").observe(latency)
         self.metrics.histogram("queue_ms").observe(queue_wait)
@@ -392,6 +462,8 @@ class ServeRuntime:
                     ),
                 )
             )
+            self._span(request, "failed", device.clock_ms,
+                       detail="retry_cap")
             self.metrics.counter("requests.failed").inc()
             return
         request.attempts = attempts_done
@@ -401,12 +473,45 @@ class ServeRuntime:
             self.config.backoff_base_ms * (2 ** (attempts_done - 1)),
         )
         request.backoff_ms += backoff
+        # The backoff interval: from the brown-out (the failing device's
+        # clock) until the retry is eligible again.  A device that is far
+        # ahead of the eligibility point collapses it to an instant.
+        self._span(
+            request, "backoff",
+            min(device.clock_ms, request.earliest_start_ms),
+            request.earliest_start_ms,
+        )
         self.metrics.counter("requests.retries").inc()
         # Already admitted once: retries bypass admission control so no
         # request can be both rejected and failed.
         self.queue.offer(request, force=True)
 
     # -- reporting -------------------------------------------------------
+
+    def _span(
+        self,
+        request: InferenceRequest,
+        kind: str,
+        start_ms: float,
+        end_ms: float | None = None,
+        *,
+        device_id: int | None = None,
+        detail: str | None = None,
+    ) -> None:
+        """Record one queue-track span for ``request`` (no-op untraced)."""
+        if self.tracer is None:
+            return
+        self.tracer.record(
+            Span(
+                kind=kind,
+                start_ms=start_ms,
+                end_ms=start_ms if end_ms is None else end_ms,
+                request_id=request.request_id,
+                device_id=device_id,
+                attempt=request.attempts + 1,
+                detail=detail,
+            )
+        )
 
     def _record(self, outcome: ServeOutcome) -> None:
         with self._outcome_lock:
@@ -419,17 +524,22 @@ class ServeRuntime:
 
     def report(self) -> ServeReport:
         outcomes = self.outcomes
+        with self._arrival_lock:
+            offered = self._offered
+            last_arrival_ms = self._last_arrival_ms
         completed = sum(1 for o in outcomes if o.status == COMPLETED)
         rejected = sum(1 for o in outcomes if o.status == REJECTED)
         failed = sum(1 for o in outcomes if o.status == FAILED)
         makespan = max(
-            [self._last_arrival_ms]
+            [last_arrival_ms]
             + [device.clock_ms for device in self.devices]
         )
         utilization = {}
+        busy = {}
         for device in self.devices:
             value = device.utilization(makespan)
             utilization[f"device.{device.device_id}"] = value
+            busy[f"device.{device.device_id}"] = device.busy_ms
             self.metrics.gauge(
                 f"device.{device.device_id}.utilization"
             ).set(value)
@@ -438,7 +548,7 @@ class ServeRuntime:
             completed / (makespan / 1e3) if makespan > 0.0 else 0.0
         )
         return ServeReport(
-            offered=self._offered,
+            offered=offered,
             completed=completed,
             rejected=rejected,
             failed=failed,
@@ -454,4 +564,6 @@ class ServeRuntime:
             metrics=snapshot,
             engine=self.config.engine,
             outcomes=outcomes,
+            device_busy_ms=busy,
+            trace=self.tracer,
         )

@@ -38,6 +38,13 @@ def synthetic_trace(
         raise ConfigurationError("trace needs at least one request")
     if rate_rps <= 0:
         raise ConfigurationError("arrival rate must be positive")
+    if deadline_ms is not None and deadline_ms <= 0:
+        # A non-positive relative deadline is expired on arrival; catch
+        # the misconfiguration here instead of shedding every request
+        # deep inside the runtime.
+        raise ConfigurationError(
+            f"deadline_ms must be positive, got {deadline_ms}"
+        )
     rng = np.random.default_rng(seed)
     gaps_ms = rng.exponential(1_000.0 / rate_rps, size=n_requests)
     arrivals = np.cumsum(gaps_ms)
@@ -46,6 +53,13 @@ def synthetic_trace(
         if inputs.ndim != 2 or len(inputs) == 0:
             raise ConfigurationError("trace inputs must be a non-empty "
                                      "2-D array")
+        if inputs.shape[1] != input_shape:
+            # Mismatched features would otherwise fail request-by-request
+            # inside device execution, long after trace construction.
+            raise ConfigurationError(
+                f"trace inputs have {inputs.shape[1]} features but "
+                f"input_shape is {input_shape}"
+            )
     trace = []
     for i in range(n_requests):
         if inputs is not None:

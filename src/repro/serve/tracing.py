@@ -1,0 +1,382 @@
+"""Per-request span tracing for the serving runtime.
+
+Aggregate metrics answer "how is the fleet doing"; they cannot answer
+"what happened to request 4711".  This module records every request's
+journey through the runtime as typed *spans* on the simulated timeline —
+admission, queueing, backoff, dispatch overhead, execution, retries, and
+the terminal outcome — so a single inference can be reconstructed, and
+so tests can assert *invariants* that aggregate counters hide (span
+overlap on a device, negative queue waits, busy time that does not match
+the occupied timeline).
+
+Span taxonomy (all times simulated milliseconds):
+
+==================  =====================================================
+kind                meaning
+==================  =====================================================
+``admitted``        instant: admission control accepted the request
+``queued``          interval: eligible-to-run until device service start
+``backoff``         interval: post-brown-out delay before the retry is
+                    eligible again
+``dispatch_overhead``  interval (device track): per-batch host-link +
+                    DMA setup cost
+``execute``         interval (device track): one inference attempt that
+                    ran to completion
+``retry``           interval (device track): device time wasted by a
+                    browned-out attempt (whether or not another attempt
+                    follows)
+``completed``       instant, terminal: the request finished
+``shed``            instant, terminal: admission/dequeue shed the request
+``failed``          instant, terminal: the request failed terminally
+==================  =====================================================
+
+Every offered request ends in **exactly one** terminal span — the
+per-request refinement of the conservation law.  Spans live on tracks:
+``device_id is None`` is the queue track, anything else the device's
+track.  :func:`verify_trace_invariants` checks the full invariant list
+(see ``docs/serving.md``); the soak harness runs it after every replay.
+
+The collector is bounded: past ``capacity`` spans it drops (and counts)
+further records instead of growing without limit, so tracing can stay on
+in long-running fleets.  ``chrome_trace()`` exports the standard Chrome
+trace-event JSON (load it in https://ui.perfetto.dev — one track per
+device plus the queue track); ``timeline()`` renders one request's
+journey as plain text for tests and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Default span capacity: ~8 spans/request leaves room for a 25k-request
+#: replay before the collector starts dropping.
+DEFAULT_TRACE_CAPACITY = 200_000
+
+SPAN_KINDS = (
+    "admitted",
+    "queued",
+    "backoff",
+    "dispatch_overhead",
+    "execute",
+    "retry",
+    "completed",
+    "shed",
+    "failed",
+)
+
+#: Exactly one of these is recorded per offered request.
+TERMINAL_KINDS = frozenset({"completed", "shed", "failed"})
+
+#: Device-track kinds whose summed durations must equal the device's
+#: ``busy_ms`` — the accounting invariant the soak harness pins down.
+DEVICE_BUSY_KINDS = frozenset({"dispatch_overhead", "execute", "retry"})
+
+
+@dataclass(frozen=True)
+class Span:
+    """One typed interval (or instant) on the simulated timeline.
+
+    ``request_id`` is ``None`` only for batch-level device spans
+    (``dispatch_overhead``), which serve the whole batch.  Instants have
+    ``end_ms == start_ms``.
+    """
+
+    kind: str
+    start_ms: float
+    end_ms: float
+    request_id: int | None = None
+    device_id: int | None = None       # None = queue track
+    attempt: int = 0
+    detail: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPAN_KINDS:
+            raise ConfigurationError(
+                f"unknown span kind {self.kind!r}; known: {SPAN_KINDS}"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def terminal(self) -> bool:
+        return self.kind in TERMINAL_KINDS
+
+
+class TraceCollector:
+    """Bounded, thread-safe store of spans, indexed by request id."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("trace capacity must be positive")
+        self.capacity = capacity
+        self._spans: list[Span] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> bool:
+        """Store one span; ``False`` when the bounded buffer dropped it."""
+        with self._lock:
+            if len(self._spans) >= self.capacity:
+                self._dropped += 1
+                return False
+            self._spans.append(span)
+            return True
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the collector was full."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def spans(self) -> tuple[Span, ...]:
+        """Every recorded span, in recording order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def request_ids(self) -> tuple[int, ...]:
+        """Distinct request ids with at least one span, ascending."""
+        seen = {
+            span.request_id
+            for span in self.spans()
+            if span.request_id is not None
+        }
+        return tuple(sorted(seen))
+
+    def request_spans(self, request_id: int) -> tuple[Span, ...]:
+        """One request's spans, ordered by (start, end) on the timeline."""
+        mine = [s for s in self.spans() if s.request_id == request_id]
+        return tuple(sorted(mine, key=lambda s: (s.start_ms, s.end_ms)))
+
+    def device_spans(self, device_id: int) -> tuple[Span, ...]:
+        """One device track's spans, ordered by (start, end)."""
+        mine = [s for s in self.spans() if s.device_id == device_id]
+        return tuple(sorted(mine, key=lambda s: (s.start_ms, s.end_ms)))
+
+    # -- rendering -------------------------------------------------------
+
+    def timeline(self, request_id: int) -> str:
+        """Plain-text per-request journey, one span per line."""
+        spans = self.request_spans(request_id)
+        if not spans:
+            return f"request {request_id}: no spans recorded"
+        terminal = next(
+            (s.kind for s in spans if s.terminal), "in-flight"
+        )
+        lines = [
+            f"request {request_id} ({len(spans)} spans, "
+            f"terminal={terminal})"
+        ]
+        for span in spans:
+            track = (
+                "queue" if span.device_id is None
+                else f"device.{span.device_id}"
+            )
+            where = f"{track:10s} attempt {span.attempt}"
+            if span.detail:
+                where += f"  [{span.detail}]"
+            lines.append(
+                f"  [{span.start_ms:10.3f} → {span.end_ms:10.3f}] "
+                f"{span.kind:17s} {where}"
+            )
+        return "\n".join(lines)
+
+    def chrome_trace(
+        self, labels: dict[str, str] | None = None
+    ) -> dict[str, Any]:
+        """The trace in Chrome trace-event JSON (Perfetto-loadable).
+
+        One process (`repro.serve`), one track per device plus a
+        ``queue`` track (tid 0).  Intervals are complete (``"X"``)
+        events in microseconds; instants are thread-scoped ``"i"``
+        events.  Overlapping queue-track intervals (many requests queued
+        at once) render stacked, which is the intended reading.
+        """
+        spans = sorted(
+            self.spans(), key=lambda s: (s.start_ms, s.end_ms)
+        )
+        tids = {None: 0}
+        for device_id in sorted(
+            {s.device_id for s in spans if s.device_id is not None}
+        ):
+            tids[device_id] = device_id + 1
+        events: list[dict[str, Any]] = [
+            {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+             "args": {"name": "repro.serve"}},
+            {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+             "args": {"name": "queue"}},
+        ]
+        for device_id, tid in tids.items():
+            if device_id is None:
+                continue
+            events.append(
+                {"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                 "args": {"name": f"device.{device_id}"}}
+            )
+        for span in spans:
+            args: dict[str, Any] = {"attempt": span.attempt}
+            if span.request_id is not None:
+                args["request_id"] = span.request_id
+            if span.detail:
+                args["detail"] = span.detail
+            if span.terminal:
+                args["terminal"] = True
+            event: dict[str, Any] = {
+                "pid": 0,
+                "tid": tids[span.device_id],
+                "cat": "serve",
+                "name": span.kind,
+                "ts": round(span.start_ms * 1_000.0, 3),
+                "args": args,
+            }
+            if span.end_ms > span.start_ms:
+                event["ph"] = "X"
+                event["dur"] = round(span.duration_ms * 1_000.0, 3)
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"
+            events.append(event)
+        trace: dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        }
+        if labels:
+            trace["metadata"] = dict(labels)
+        return trace
+
+    def write_chrome_trace(
+        self, path, labels: dict[str, str] | None = None
+    ) -> None:
+        """Serialize :meth:`chrome_trace` to ``path`` as JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(labels), handle, indent=1)
+
+
+# -- invariants ----------------------------------------------------------
+
+def verify_trace_invariants(
+    report, *, tolerance_ms: float = 1e-6
+) -> list[str]:
+    """Check the runtime's accounting invariants against a replay trace.
+
+    Takes a :class:`~repro.serve.runtime.ServeReport` whose ``trace``
+    field holds the run's :class:`TraceCollector` and returns a list of
+    human-readable violations (empty = all invariants hold):
+
+    1. conservation: ``completed + rejected + failed == offered``;
+    2. every offered request has **exactly one** terminal span, and the
+       traced request ids match the recorded outcomes;
+    3. per-device spans are non-overlapping and monotone (each device's
+       clock only moves forward);
+    4. no span runs backwards, and no queue wait is negative (every
+       ``queued`` span and every outcome ``queue_ms`` is >= 0);
+    5. per device, ``busy_ms`` equals the summed durations of its
+       ``dispatch_overhead`` + ``execute`` + ``retry`` spans, and no
+       device span ends past the makespan;
+    6. utilization is in [0, 1].
+
+    The soak harness runs this after every replay; each check fails on
+    the pre-fix runtime bugs catalogued in ISSUE 4.
+    """
+    violations: list[str] = []
+    if not report.conserved:
+        violations.append(
+            f"conservation violated: {report.completed} + "
+            f"{report.rejected} + {report.failed} != {report.offered}"
+        )
+    tracer = report.trace
+    if tracer is None:
+        violations.append("report carries no trace (tracing disabled?)")
+        return violations
+    if tracer.dropped:
+        violations.append(
+            f"collector dropped {tracer.dropped} spans (capacity "
+            f"{tracer.capacity}); invariants are not checkable"
+        )
+        return violations
+
+    spans = tracer.spans()
+
+    # 2. exactly one terminal span per offered request.
+    terminals: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.terminal and span.request_id is not None:
+            terminals.setdefault(span.request_id, []).append(span)
+    for request_id, spans_for in sorted(terminals.items()):
+        if len(spans_for) != 1:
+            violations.append(
+                f"request {request_id} has {len(spans_for)} terminal "
+                f"spans: {[s.kind for s in spans_for]}"
+            )
+    outcome_ids = sorted(o.request_id for o in report.outcomes)
+    if sorted(terminals) != outcome_ids:
+        missing = set(outcome_ids) - set(terminals)
+        extra = set(terminals) - set(outcome_ids)
+        violations.append(
+            f"terminal spans disagree with outcomes "
+            f"(missing={sorted(missing)}, extra={sorted(extra)})"
+        )
+
+    # 4. no span runs backwards; queue waits non-negative.
+    for span in spans:
+        if span.end_ms < span.start_ms - tolerance_ms:
+            violations.append(
+                f"span runs backwards: {span.kind} request "
+                f"{span.request_id} [{span.start_ms} → {span.end_ms}]"
+            )
+    for outcome in report.outcomes:
+        if outcome.queue_ms < -tolerance_ms:
+            violations.append(
+                f"request {outcome.request_id} has negative queue wait "
+                f"{outcome.queue_ms}"
+            )
+
+    # 3 + 5. per-device monotonicity and busy-time accounting.
+    device_ids = sorted(
+        {s.device_id for s in spans if s.device_id is not None}
+    )
+    for device_id in device_ids:
+        track = tracer.device_spans(device_id)
+        for prev, cur in zip(track, track[1:]):
+            if cur.start_ms < prev.end_ms - tolerance_ms:
+                violations.append(
+                    f"device {device_id} spans overlap: "
+                    f"{prev.kind}@[{prev.start_ms}, {prev.end_ms}] then "
+                    f"{cur.kind}@[{cur.start_ms}, {cur.end_ms}]"
+                )
+        busy_spans = sum(
+            s.duration_ms for s in track if s.kind in DEVICE_BUSY_KINDS
+        )
+        recorded = report.device_busy_ms.get(f"device.{device_id}")
+        if recorded is not None:
+            slack = max(1.0, abs(recorded)) * 1e-9 + tolerance_ms
+            if abs(recorded - busy_spans) > slack:
+                violations.append(
+                    f"device {device_id} busy_ms {recorded:.6f} != "
+                    f"sum of busy spans {busy_spans:.6f}"
+                )
+        late = [
+            s for s in track
+            if s.end_ms > report.makespan_ms + tolerance_ms
+        ]
+        if late:
+            violations.append(
+                f"device {device_id} has {len(late)} spans past the "
+                f"makespan {report.makespan_ms}"
+            )
+
+    # 6. utilization bounded.
+    for name, value in report.device_utilization.items():
+        if not 0.0 <= value <= 1.0 + 1e-12:
+            violations.append(f"{name} utilization {value} outside [0, 1]")
+    return violations

@@ -1,6 +1,7 @@
 """The metrics layer: counters, gauges, histograms, snapshots."""
 
 import json
+import sys
 import threading
 
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -51,6 +52,49 @@ class TestHistogram:
         summary = Histogram().summary()
         assert summary["count"] == 0
         assert summary["p99"] == 0.0
+
+    def test_summary_is_one_consistent_snapshot(self):
+        """ISSUE-4 satellite: all summary fields from ONE lock hold.
+
+        A single writer observes the sequence 0, 1, 2, ..., so at every
+        instant the histogram satisfies ``max == count - 1`` exactly.
+        Pre-fix, ``summary()`` read ``count`` under the lock but
+        ``_min``/``_max`` (and the quantile reservoir) *after* releasing
+        it, so a concurrent ``observe()`` produced summaries mixing two
+        instants — detectable as ``max > count - 1``.
+        """
+        # Small reservoir: the tear detector only needs count/min/max,
+        # and a small capacity keeps the per-summary sort cheap.
+        hist = Histogram(capacity=512)
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                hist.observe(float(value))
+                value += 1
+
+        thread = threading.Thread(target=writer)
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        torn = []
+        try:
+            thread.start()
+            for _ in range(2000):
+                summary = hist.summary()
+                if summary["count"] == 0:
+                    continue
+                if summary["max"] != summary["count"] - 1:
+                    torn.append(summary)
+                if not (summary["min"] <= summary["p50"]
+                        <= summary["p95"] <= summary["p99"]
+                        <= summary["max"]):
+                    torn.append(summary)
+        finally:
+            stop.set()
+            thread.join()
+            sys.setswitchinterval(interval)
+        assert not torn, f"torn summaries: {torn[:3]}"
 
     def test_reservoir_keeps_count_past_capacity(self):
         hist = Histogram(capacity=16)

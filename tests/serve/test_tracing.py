@@ -1,0 +1,209 @@
+"""The tracing layer: spans, the bounded collector, exporters.
+
+Covers the ISSUE-4 tentpole (span recording through a real replay, the
+Chrome trace-event exporter round-trip, per-request timelines, the
+bounded collector) plus the satellite validation fixes in
+``synthetic_trace``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    COMPLETED,
+    FaultPlan,
+    ServeConfig,
+    ServeRuntime,
+    Span,
+    TraceCollector,
+    synthetic_trace,
+    verify_trace_invariants,
+)
+from repro.serve.tracing import TERMINAL_KINDS
+
+
+def _replay(artifact, inputs, **overrides):
+    defaults = dict(n_devices=2, max_queue_depth=256,
+                    max_queue_wait_ms=None)
+    defaults.update(overrides)
+    trace = synthetic_trace(30, 2000.0, 64, seed=21, inputs=inputs)
+    return ServeRuntime(artifact, ServeConfig(**defaults)).replay(trace)
+
+
+class TestSpan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Span(kind="telemetry", start_ms=0.0, end_ms=1.0)
+
+    def test_terminal_kinds(self):
+        assert Span(kind="completed", start_ms=1.0, end_ms=1.0).terminal
+        assert Span(kind="shed", start_ms=1.0, end_ms=1.0).terminal
+        assert not Span(kind="execute", start_ms=0.0, end_ms=1.0).terminal
+
+
+class TestTraceCollector:
+    def test_bounded_capacity_drops_and_counts(self):
+        collector = TraceCollector(capacity=3)
+        for i in range(5):
+            accepted = collector.record(
+                Span(kind="queued", start_ms=float(i),
+                     end_ms=float(i + 1), request_id=i)
+            )
+            assert accepted == (i < 3)
+        assert len(collector) == 3
+        assert collector.dropped == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceCollector(capacity=0)
+
+    def test_request_spans_sorted_by_time(self):
+        collector = TraceCollector()
+        collector.record(Span(kind="execute", start_ms=5.0, end_ms=6.0,
+                              request_id=7, device_id=0))
+        collector.record(Span(kind="queued", start_ms=0.0, end_ms=5.0,
+                              request_id=7))
+        starts = [s.start_ms for s in collector.request_spans(7)]
+        assert starts == sorted(starts)
+        assert collector.request_ids() == (7,)
+
+    def test_timeline_renders_unknown_request(self):
+        assert "no spans" in TraceCollector().timeline(99)
+
+
+class TestReplayTracing:
+    def test_clean_replay_spans_and_timeline(self, small_artifact,
+                                             digits_small):
+        report = _replay(small_artifact, digits_small.x_test)
+        assert report.completed == 30
+        tracer = report.trace
+        assert tracer is not None and tracer.dropped == 0
+        # Every request: admitted -> queued -> execute -> completed.
+        for outcome in report.outcomes:
+            kinds = [s.kind for s in
+                     tracer.request_spans(outcome.request_id)]
+            assert kinds == ["admitted", "queued", "execute", "completed"]
+            text = tracer.timeline(outcome.request_id)
+            assert f"request {outcome.request_id}" in text
+            assert "terminal=completed" in text
+            assert f"device.{outcome.device_id}" in text
+
+    def test_tracing_can_be_disabled(self, small_artifact, digits_small):
+        report = _replay(small_artifact, digits_small.x_test,
+                         tracing=False)
+        assert report.trace is None
+        assert report.completed == 30
+        assert verify_trace_invariants(report)   # flags the missing trace
+
+    def test_brownout_replay_traces_retries(self, small_artifact,
+                                            digits_small):
+        plan = FaultPlan(brownout_rate=1.0, faulty_devices=frozenset({0}))
+        report = _replay(small_artifact, digits_small.x_test,
+                         n_devices=2, fault_plan=plan)
+        assert report.completed == 30
+        tracer = report.trace
+        retried = [o for o in report.outcomes if o.attempts > 1]
+        assert retried, "fault plan should have caused retries"
+        for outcome in retried:
+            kinds = [s.kind for s in
+                     tracer.request_spans(outcome.request_id)]
+            assert "retry" in kinds        # wasted work on device 0
+            assert "backoff" in kinds      # delay before the retry
+            assert kinds.count("execute") == 1
+        assert not verify_trace_invariants(report)
+
+
+class TestChromeTraceExport:
+    def test_round_trip_and_per_device_monotonicity(
+        self, small_artifact, digits_small, tmp_path
+    ):
+        plan = FaultPlan(brownout_rate=0.4, seed=3)
+        report = _replay(small_artifact, digits_small.x_test,
+                         n_devices=3, fault_plan=plan, max_retries=3)
+        path = tmp_path / "trace.json"
+        report.trace.write_chrome_trace(path, labels={"engine": "fastpath"})
+
+        payload = json.loads(path.read_text())    # JSON loads
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["metadata"]["engine"] == "fastpath"
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] in ("X", "i")]
+        assert spans, "no span events exported"
+
+        # Events are sorted by timestamp.
+        stamps = [e["ts"] for e in spans]
+        assert stamps == sorted(stamps)
+
+        # Track metadata: a queue thread plus one per device.
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"}
+        assert "queue" in names
+        assert {"device.0", "device.1", "device.2"} <= names
+
+        # Per-device complete events are monotone and non-overlapping.
+        by_tid = {}
+        for event in spans:
+            if event["ph"] == "X" and event["tid"] != 0:
+                by_tid.setdefault(event["tid"], []).append(event)
+        assert by_tid, "no device-track events"
+        for events_on_device in by_tid.values():
+            end = -1.0
+            for event in events_on_device:
+                assert event["ts"] >= end - 1e-3
+                end = event["ts"] + event["dur"]
+
+        # Exactly one terminal event per offered request.
+        terminal = {}
+        for event in spans:
+            if event["args"].get("terminal"):
+                rid = event["args"]["request_id"]
+                terminal[rid] = terminal.get(rid, 0) + 1
+                assert event["name"] in TERMINAL_KINDS
+        assert sorted(terminal) == sorted(
+            o.request_id for o in report.outcomes
+        )
+        assert set(terminal.values()) == {1}
+
+    def test_report_trace_accessor_matches_runtime(self, small_artifact,
+                                                   digits_small):
+        trace = synthetic_trace(10, 2000.0, 64, seed=23,
+                                inputs=digits_small.x_test)
+        runtime = ServeRuntime(
+            small_artifact,
+            ServeConfig(n_devices=2, max_queue_wait_ms=None),
+        )
+        report = runtime.replay(trace)
+        assert report.trace is runtime.tracer
+        assert all(o.status == COMPLETED for o in report.outcomes)
+
+
+class TestSyntheticTraceValidation:
+    """ISSUE-4 satellite: fail at construction, not inside devices."""
+
+    def test_mismatched_input_features_rejected(self):
+        inputs = np.zeros((4, 10), dtype=np.float32)
+        with pytest.raises(ConfigurationError, match="features"):
+            synthetic_trace(5, 100.0, 64, inputs=inputs)
+
+    def test_matching_input_features_accepted(self):
+        inputs = np.zeros((4, 64), dtype=np.float32)
+        trace = synthetic_trace(5, 100.0, 64, inputs=inputs)
+        assert len(trace) == 5
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            synthetic_trace(5, 100.0, 64, deadline_ms=0.0)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            synthetic_trace(5, 100.0, 64, deadline_ms=-3.0)
+
+    def test_positive_deadline_accepted(self):
+        trace = synthetic_trace(5, 100.0, 64, deadline_ms=4.0)
+        assert all(
+            r.deadline_ms == pytest.approx(r.arrival_ms + 4.0)
+            for r in trace
+        )
