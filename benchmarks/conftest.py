@@ -1,0 +1,20 @@
+"""Benchmark-session plumbing: persist the experiment timing registry.
+
+Every ``runner.map_units`` call — any figure bench, any jobs value —
+records per-unit and per-figure wall times in a process-global registry;
+at session end the registry is written to
+``benchmarks/results/experiment_timings.json`` (CI uploads it as an
+artifact), so parallel speedups are *measured* on every run rather than
+asserted once.
+"""
+
+from __future__ import annotations
+
+from _output import RESULTS_DIR
+
+from repro.experiments import runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if runner.runs():
+        runner.write_timings(RESULTS_DIR / "experiment_timings.json")

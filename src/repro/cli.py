@@ -12,6 +12,7 @@ The paper's workflow as shell commands::
     python -m repro verify --model model.npz --format block
     python -m repro serve-bench --model model.npz --devices 4 \
         --requests 1000 --rate 2000
+    python -m repro report --jobs 4
     python -m repro zoo
 
 Every command prints human-readable results to stdout and exits non-zero
@@ -268,6 +269,37 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Render the paper-vs-measured report, training in parallel."""
+    import os
+
+    from repro.experiments import runner
+    from repro.experiments.report import generate_report
+
+    if args.jobs is not None:
+        # Propagate through the environment so every figure — and every
+        # worker process — resolves the same job count.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    jobs = runner.resolve_jobs()
+    runner.reset_timings()
+    body = generate_report(figures=args.figures)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(body + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(body)
+    # Timing summary on stderr: the report body on stdout stays clean
+    # (and byte-comparable across job counts).
+    print(f"\n[jobs={jobs}]", file=sys.stderr)
+    print(runner.format_timing_summary(), file=sys.stderr)
+    if args.timings_out:
+        runner.write_timings(args.timings_out)
+        print(f"wrote timing JSON to {args.timings_out}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_encodings(args) -> int:
     from repro.deploy.artifact import analytic_model_latency_ms
     from repro.deploy.serialization import load_quantized_model
@@ -324,6 +356,25 @@ def build_parser() -> argparse.ArgumentParser:
         "encodings", help="compare the four sparse encodings on a model"
     )
     encodings.add_argument("--model", required=True)
+
+    report = commands.add_parser(
+        "report",
+        help="render the paper-vs-measured report (the EXPERIMENTS.md "
+             "body); training units run across --jobs worker processes "
+             "sharing the disk cache",
+    )
+    report.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for training units "
+                             "(default: $REPRO_JOBS or 1; 0 = all cores)")
+    report.add_argument("--out", default=None,
+                        help="write the report body here instead of "
+                             "stdout")
+    report.add_argument("--figures", nargs="+", default=None,
+                        metavar="SECTION",
+                        help="render only these sections (e.g. fig2 fig5)")
+    report.add_argument("--timings-out", default=None,
+                        help="write the per-unit/per-figure timing "
+                             "summary JSON here")
 
     verify = commands.add_parser(
         "verify",
@@ -394,6 +445,7 @@ _HANDLERS = {
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
     "encodings": _cmd_encodings,
+    "report": _cmd_report,
     "verify": _cmd_verify,
     "serve-bench": _cmd_serve_bench,
 }

@@ -44,12 +44,16 @@ def constrained_random_adjacency(
         raise ConfigurationError(
             f"fan_in must be in [1, {n_in}]: {fan_in}"
         )
+    # The fan_in smallest of n_in i.i.d. uniform scores per column are a
+    # uniform without-replacement subset, so one (n_in, n_out) draw plus
+    # an argpartition replaces the per-column choice() loop.
+    scores = rng.random((n_in, n_out))
+    chosen = np.argpartition(scores, fan_in - 1, axis=0)[:fan_in]
+    signs = rng.choice(
+        np.array([-1, 1], dtype=np.int8), (fan_in, n_out)
+    )
     matrix = np.zeros((n_in, n_out), dtype=np.int8)
-    for j in range(n_out):
-        chosen = rng.choice(n_in, size=fan_in, replace=False)
-        matrix[chosen, j] = rng.choice(
-            np.array([-1, 1], dtype=np.int8), fan_in
-        )
+    np.put_along_axis(matrix, chosen, signs, axis=0)
     return matrix
 
 
@@ -71,7 +75,6 @@ def locality_adjacency(
     """
     if radius < 0:
         raise ConfigurationError(f"radius must be non-negative: {radius}")
-    matrix = np.zeros((n_in, n_out), dtype=np.int8)
     if image_shape is not None:
         height, width = image_shape
         if height * width != n_in:
@@ -85,32 +88,19 @@ def locality_adjacency(
         anchor_index = np.linspace(0, n_in - 1, n_out)
         anchor_rows = anchor_index // width
         anchor_cols = anchor_index % width
-        for j in range(n_out):
-            in_window = (
-                (np.abs(rows - anchor_rows[j]) <= radius)
-                & (np.abs(cols - anchor_cols[j]) <= radius)
-            )
-            candidates = np.flatnonzero(in_window)
-            keep = candidates[
-                rng.random(len(candidates)) < density_in_window
-            ]
-            matrix[keep, j] = rng.choice(
-                np.array([-1, 1], dtype=np.int8), len(keep)
-            )
+        in_window = (
+            (np.abs(rows[:, None] - anchor_rows[None, :]) <= radius)
+            & (np.abs(cols[:, None] - anchor_cols[None, :]) <= radius)
+        )
     else:
         anchors = np.linspace(0, n_in - 1, n_out)
         positions = np.arange(n_in)
-        for j in range(n_out):
-            candidates = np.flatnonzero(
-                np.abs(positions - anchors[j]) <= radius
-            )
-            keep = candidates[
-                rng.random(len(candidates)) < density_in_window
-            ]
-            matrix[keep, j] = rng.choice(
-                np.array([-1, 1], dtype=np.int8), len(keep)
-            )
-    return matrix
+        in_window = (
+            np.abs(positions[:, None] - anchors[None, :]) <= radius
+        )
+    keep = in_window & (rng.random((n_in, n_out)) < density_in_window)
+    signs = rng.choice(np.array([-1, 1], dtype=np.int8), (n_in, n_out))
+    return np.where(keep, signs, np.int8(0)).astype(np.int8)
 
 
 def make_fixed_adjacency(
@@ -164,19 +154,26 @@ def clustered_adjacency(
     if not 0.0 < density <= 1.0:
         raise ConfigurationError(f"density must be in (0, 1]: {density}")
     target_per_col = max(1, round(density * n_in))
+    span = min(cluster_span, n_in)
+    # Each column draws a few cluster centers; inputs inside any of its
+    # cluster windows get a uniform score in [0, 1), everything else a
+    # score in [1, 2).  Taking the target_per_col smallest scores then
+    # fills columns from their clusters first (uniformly within them),
+    # spilling outside only when the windows are too small — and always
+    # yields exactly target_per_col connections.
+    centers = rng.integers(0, n_in, size=(clusters_per_neuron, n_out))
+    lo = np.maximum(0, centers - span // 2)
+    hi = np.minimum(n_in, lo + span)
+    positions = np.arange(n_in)[None, :, None]
+    in_cluster = (
+        (positions >= lo[:, None, :]) & (positions < hi[:, None, :])
+    ).any(axis=0)
+    scores = rng.random((n_in, n_out)) + np.where(in_cluster, 0.0, 1.0)
+    chosen = np.argpartition(scores, target_per_col - 1, axis=0)
+    chosen = chosen[:target_per_col]
+    signs = rng.choice(
+        np.array([-1, 1], dtype=np.int8), (target_per_col, n_out)
+    )
     matrix = np.zeros((n_in, n_out), dtype=np.int8)
-    for j in range(n_out):
-        chosen: set[int] = set()
-        while len(chosen) < target_per_col:
-            center = int(rng.integers(0, n_in))
-            span = min(cluster_span, n_in)
-            lo = max(0, center - span // 2)
-            hi = min(n_in, lo + span)
-            want = max(1, target_per_col // clusters_per_neuron)
-            picks = rng.integers(lo, hi, size=want)
-            chosen.update(int(p) for p in picks)
-        indices = np.array(sorted(chosen))[:target_per_col]
-        matrix[indices, j] = rng.choice(
-            np.array([-1, 1], dtype=np.int8), len(indices)
-        )
+    np.put_along_axis(matrix, chosen, signs, axis=0)
     return matrix

@@ -6,6 +6,7 @@ benchmark suite asserts on.  See DESIGN.md §3 for the experiment index
 and EXPERIMENTS.md for recorded paper-vs-measured results.
 """
 
+from repro.experiments import runner
 from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8
 from repro.experiments.cache import (
     cache_dir,
@@ -13,9 +14,15 @@ from repro.experiments.cache import (
     clear_memory_cache,
     memoized,
 )
-from repro.experiments.tables import format_table, ratio_str
+from repro.experiments.runner import WorkUnit, map_units, unit_seed
+from repro.experiments.tables import (
+    format_table,
+    format_timing_table,
+    ratio_str,
+)
 
 __all__ = [
+    "WorkUnit",
     "cache_dir",
     "cached_json",
     "clear_memory_cache",
@@ -26,6 +33,10 @@ __all__ = [
     "fig7",
     "fig8",
     "format_table",
+    "format_timing_table",
+    "map_units",
     "memoized",
     "ratio_str",
+    "runner",
+    "unit_seed",
 ]

@@ -18,12 +18,15 @@ import numpy as np
 from repro.core.adjacency import FIXED_STRATEGIES
 from repro.core.neuroc import NeuroCConfig, build_neuroc
 from repro.datasets import load
-from repro.experiments.cache import cached_json
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.nn.optimizers import Adam
 from repro.nn.trainer import TrainConfig, Trainer
 
-SCHEMA = "fig1-v1"
+#: v2: one cache entry per (strategy, hidden, level) training unit with a
+#: unit-key-derived trainer seed, and vectorized fixed-adjacency
+#: generators (different RNG stream, same distributions).
+SCHEMA = "fig1-v2"
 
 HIDDEN_GRID = (16, 32, 64)
 DENSITY_GRID = (0.05, 0.1, 0.2)
@@ -41,9 +44,15 @@ class StrategyPoint:
     accuracy: float
 
 
+def _unit_key(strategy: str, hidden: int, level: float,
+              epochs: int) -> str:
+    return f"{SCHEMA}-{strategy}-h{hidden}-l{level}-e{epochs}"
+
+
 def _train_point(
     strategy: str, hidden: int, level: float, epochs: int
-) -> StrategyPoint:
+) -> dict:
+    """One training unit (runs in a worker process when jobs > 1)."""
     dataset = load("digits_like")
     if strategy == "quantization":
         config = NeuroCConfig(
@@ -60,35 +69,45 @@ def _train_point(
         )
     model = build_neuroc(config)
     x_train, y_train, x_val, y_val = dataset.split_validation()
-    Trainer(model, Adam(0.006), rng=np.random.default_rng(7)).fit(
+    seed = runner.unit_seed(_unit_key(strategy, hidden, level, epochs))
+    Trainer(model, Adam(0.006), rng=np.random.default_rng(seed)).fit(
         x_train, y_train, x_val, y_val, TrainConfig(epochs=epochs)
     )
-    return StrategyPoint(
-        strategy=strategy,
-        hidden=hidden,
-        level=level,
-        parameters=model.parameter_count,
-        accuracy=model.accuracy(dataset.x_test, dataset.y_test),
-    )
+    return {
+        "strategy": strategy,
+        "hidden": hidden,
+        "level": level,
+        "parameters": model.parameter_count,
+        "accuracy": model.accuracy(dataset.x_test, dataset.y_test),
+    }
 
 
-def run_fig1(epochs: int = 30) -> list[StrategyPoint]:
+def grid_units(epochs: int) -> list[runner.WorkUnit]:
+    """The figure's independent training units, one per grid point."""
+    units = []
+    for strategy in FIXED_STRATEGIES + ("quantization",):
+        levels = (
+            THRESHOLD_GRID if strategy == "quantization"
+            else DENSITY_GRID
+        )
+        for hidden in HIDDEN_GRID:
+            for level in levels:
+                units.append(runner.WorkUnit(
+                    key=_unit_key(strategy, hidden, level, epochs),
+                    fn=_train_point,
+                    args=(strategy, hidden, level, epochs),
+                ))
+    return units
+
+
+def run_fig1(epochs: int = 30, jobs: int | None = None
+             ) -> list[StrategyPoint]:
     """Train the full strategy × size × sparsity grid (cached)."""
-
-    def compute() -> list[dict]:
-        points = []
-        for strategy in FIXED_STRATEGIES + ("quantization",):
-            levels = (
-                THRESHOLD_GRID if strategy == "quantization"
-                else DENSITY_GRID
-            )
-            for hidden in HIDDEN_GRID:
-                for level in levels:
-                    point = _train_point(strategy, hidden, level, epochs)
-                    points.append(point.__dict__)
-        return points
-
-    raw = cached_json(f"{SCHEMA}-e{epochs}", compute)
+    epochs = runner.effective_epochs(epochs)
+    raw = runner.map_units(
+        "fig1", grid_units(epochs), jobs=jobs,
+        setup=lambda: load("digits_like"),
+    )
     return [StrategyPoint(**p) for p in raw]
 
 

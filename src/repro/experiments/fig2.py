@@ -17,12 +17,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.kernels.codegen_cnn import ConvKernelSpec, count_conv
 from repro.kernels.codegen_dense import count_dense
 from repro.kernels.ref import conv_macc_count, fc_macc_count
 from repro.kernels.spec import make_dense_spec
 from repro.mcu.board import STM32F072RB, BoardProfile
+
+SCHEMA = "fig2-v1"
 
 IMAGE_SIZE = 16  # 16×16 = 256 inputs, C = 1 (paper's setup)
 
@@ -75,34 +78,50 @@ def make_fc_spec(n_out: int, seed: int = 0):
     )
 
 
-def run_fig2(board: BoardProfile = STM32F072RB) -> list[Fig2Row]:
-    rows: list[Fig2Row] = []
-    for index, (k, s) in enumerate(PAIRS, start=1):
-        conv = make_conv_spec(k, s)
-        conv_cycles = count_conv(conv).cycles(board.costs)
-        m = conv.output_size
-        rows.append(
-            Fig2Row(
-                pair=f"pair{index}", kind="cnn", k=k, s=s,
-                n_out=k * m * m,
-                maccs=conv.macc_count,
-                cycles=conv_cycles,
-                latency_ms=board.cycles_to_ms(conv_cycles),
-            )
+def _pair_unit(
+    index: int, k: int, s: int, board: BoardProfile = STM32F072RB
+) -> list[dict]:
+    """Both rows of one (CNN, FC) size pair — an independent work unit.
+
+    Analytic only (no training), so the unit stays cache-free; it rides
+    the runner for uniform parallel dispatch and timing.
+    """
+    conv = make_conv_spec(k, s)
+    conv_cycles = count_conv(conv).cycles(board.costs)
+    m = conv.output_size
+    n_out = matched_fc_n_out(k, s)
+    fc = make_fc_spec(n_out)
+    fc_cycles = count_dense(fc).cycles(board.costs)
+    return [
+        {
+            "pair": f"pair{index}", "kind": "cnn", "k": k, "s": s,
+            "n_out": k * m * m,
+            "maccs": conv.macc_count,
+            "cycles": conv_cycles,
+            "latency_ms": board.cycles_to_ms(conv_cycles),
+        },
+        {
+            "pair": f"pair{index}", "kind": "fc", "k": None, "s": None,
+            "n_out": n_out,
+            "maccs": fc_macc_count(fc.n_in, fc.n_out),
+            "cycles": fc_cycles,
+            "latency_ms": board.cycles_to_ms(fc_cycles),
+        },
+    ]
+
+
+def run_fig2(
+    board: BoardProfile = STM32F072RB, jobs: int | None = None
+) -> list[Fig2Row]:
+    units = [
+        runner.WorkUnit(
+            key=f"{SCHEMA}-pair{index}-k{k}-s{s}",
+            fn=_pair_unit, args=(index, k, s, board), cache=False,
         )
-        n_out = matched_fc_n_out(k, s)
-        fc = make_fc_spec(n_out)
-        fc_cycles = count_dense(fc).cycles(board.costs)
-        rows.append(
-            Fig2Row(
-                pair=f"pair{index}", kind="fc", k=None, s=None,
-                n_out=n_out,
-                maccs=fc_macc_count(fc.n_in, fc.n_out),
-                cycles=fc_cycles,
-                latency_ms=board.cycles_to_ms(fc_cycles),
-            )
-        )
-    return rows
+        for index, (k, s) in enumerate(PAIRS, start=1)
+    ]
+    results = runner.map_units("fig2", units, jobs=jobs)
+    return [Fig2Row(**raw) for pair in results for raw in pair]
 
 
 def fc_always_faster(rows: list[Fig2Row]) -> bool:

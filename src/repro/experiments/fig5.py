@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.adjacency import clustered_adjacency
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.kernels.codegen_sparse import (
     SPARSE_FORMATS,
@@ -32,6 +33,8 @@ from repro.kernels.codegen_sparse import (
 )
 from repro.kernels.spec import LayerKernelSpec, make_neuroc_spec
 from repro.mcu.board import STM32F072RB, BoardProfile
+
+SCHEMA = "fig5-v1"
 
 INPUT_DIM = 784
 DENSITY = 0.10
@@ -63,27 +66,45 @@ def make_fig5_spec(n_out: int, seed: int = 0) -> LayerKernelSpec:
     )
 
 
-def run_fig5(board: BoardProfile = STM32F072RB) -> list[EncodingPoint]:
-    points: list[EncodingPoint] = []
-    for n_out in OUTPUT_SIZES:
-        spec = make_fig5_spec(n_out)
-        layer_overhead = 4 * n_out + 2 * n_out  # bias (int32) + mult (int16)
-        for fmt in SPARSE_FORMATS:
-            encoding = encode_for_kernel(spec, fmt)
-            cycles = count_sparse(spec, fmt).cycles(board.costs)
-            points.append(
-                EncodingPoint(
-                    format_name=fmt,
-                    n_out=n_out,
-                    nnz=encoding.nnz,
-                    cycles=cycles,
-                    latency_ms=board.cycles_to_ms(cycles),
-                    connectivity_bytes=encoding.size_bytes(),
-                    flash_kb=(encoding.size_bytes() + layer_overhead)
-                    / 1024.0,
-                )
-            )
-    return points
+def _size_unit(
+    n_out: int, board: BoardProfile = STM32F072RB
+) -> list[dict]:
+    """All four encodings at one output size — an independent unit."""
+    spec = make_fig5_spec(n_out)
+    layer_overhead = 4 * n_out + 2 * n_out  # bias (int32) + mult (int16)
+    rows = []
+    for fmt in SPARSE_FORMATS:
+        encoding = encode_for_kernel(spec, fmt)
+        cycles = count_sparse(spec, fmt).cycles(board.costs)
+        rows.append(
+            {
+                "format_name": fmt,
+                "n_out": n_out,
+                "nnz": encoding.nnz,
+                "cycles": cycles,
+                "latency_ms": board.cycles_to_ms(cycles),
+                "connectivity_bytes": encoding.size_bytes(),
+                "flash_kb": (encoding.size_bytes() + layer_overhead)
+                / 1024.0,
+            }
+        )
+    return rows
+
+
+def run_fig5(
+    board: BoardProfile = STM32F072RB, jobs: int | None = None
+) -> list[EncodingPoint]:
+    units = [
+        runner.WorkUnit(
+            key=f"{SCHEMA}-n{n_out}",
+            fn=_size_unit, args=(n_out, board), cache=False,
+        )
+        for n_out in OUTPUT_SIZES
+    ]
+    results = runner.map_units("fig5", units, jobs=jobs)
+    return [
+        EncodingPoint(**raw) for size_rows in results for raw in size_rows
+    ]
 
 
 def by_format_at(

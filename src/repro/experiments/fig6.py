@@ -16,6 +16,7 @@ directory to retrain from scratch.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.core.mlp import train_mlp
@@ -28,16 +29,24 @@ from repro.core.zoo import zoo_entry
 from repro.datasets import load
 from repro.deploy.artifact import analytic_model_latency_ms
 from repro.deploy.size import model_program_memory
-from repro.experiments.cache import cached_json
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.mcu.board import STM32F072RB
 
-SCHEMA = "fig6-v1"
+#: v2: one cache entry per searched configuration / per tier (the unit
+#: granularity the parallel runner fans out over).
+SCHEMA = "fig6-v2"
 
 #: Search budget: enough configurations to populate the accuracy/size
 #: point cloud on both sides of the deployability frontier.
 SEARCH_COUNT = 28
 SEARCH_EPOCHS = 18
+
+
+def search_count() -> int:
+    """``REPRO_FIG6_SEARCH_COUNT`` override (CI smoke runs shrink it)."""
+    raw = os.environ.get("REPRO_FIG6_SEARCH_COUNT", "").strip()
+    return int(raw) if raw else SEARCH_COUNT
 
 #: The three §5.2 tiers and their zoo keys.
 TIERS = ("small", "medium", "large")
@@ -72,33 +81,54 @@ class TierComparison:
     mlp: MLPPoint | None     # None when no searched MLP reaches the tier
 
 
-def mlp_search_points(seed: int = 0) -> list[MLPPoint]:
-    """Figure 6a/6b's point cloud (cached)."""
+def _search_unit(index: int, count: int, epochs: int,
+                 seed: int) -> dict:
+    """Train and evaluate searched configuration ``index``.
 
-    def compute() -> list[dict]:
-        dataset = load("mnist_like")
-        records = []
-        configs = random_mlp_configs(
-            dataset.num_features, dataset.num_classes,
-            count=SEARCH_COUNT, seed=seed,
+    The worker regenerates the (deterministic) configuration list and
+    trains exactly one entry — the unit is a pure function of
+    ``(index, count, epochs, seed)``.
+    """
+    dataset = load("mnist_like")
+    configs = random_mlp_configs(
+        dataset.num_features, dataset.num_classes,
+        count=count, seed=seed,
+    )
+    config = configs[index]
+    trained = train_mlp(config, dataset, epochs=epochs)
+    record = evaluate_trained_mlp(trained)
+    return {
+        "name": config.name,
+        "hidden": list(config.hidden),
+        "accuracy": record.accuracy,
+        "parameters": record.parameter_count,
+        "memory_kb": record.program_memory_kb,
+        "latency_ms": record.latency_ms,
+        "deployable": record.deployable,
+    }
+
+
+def search_units(seed: int = 0) -> list[runner.WorkUnit]:
+    count = search_count()
+    epochs = runner.effective_epochs(SEARCH_EPOCHS)
+    return [
+        runner.WorkUnit(
+            key=f"{SCHEMA}-search-c{count}-e{epochs}-s{seed}-i{index:02d}",
+            fn=_search_unit,
+            args=(index, count, epochs, seed),
         )
-        for config in configs:
-            trained = train_mlp(config, dataset, epochs=SEARCH_EPOCHS)
-            record = evaluate_trained_mlp(trained)
-            records.append(
-                {
-                    "name": config.name,
-                    "hidden": list(config.hidden),
-                    "accuracy": record.accuracy,
-                    "parameters": record.parameter_count,
-                    "memory_kb": record.program_memory_kb,
-                    "latency_ms": record.latency_ms,
-                    "deployable": record.deployable,
-                }
-            )
-        return records
+        for index in range(count)
+    ]
 
-    raw = cached_json(f"{SCHEMA}-search-{SEARCH_COUNT}-{seed}", compute)
+
+def mlp_search_points(
+    seed: int = 0, jobs: int | None = None
+) -> list[MLPPoint]:
+    """Figure 6a/6b's point cloud (cached per configuration)."""
+    raw = runner.map_units(
+        "fig6-search", search_units(seed), jobs=jobs,
+        setup=lambda: load("mnist_like"),
+    )
     return [
         MLPPoint(
             name=r["name"], hidden=tuple(r["hidden"]),
@@ -110,42 +140,59 @@ def mlp_search_points(seed: int = 0) -> list[MLPPoint]:
     ]
 
 
-def neuroc_tier_points() -> dict[str, NeuroCPoint]:
+def _tier_unit(tier: str, epochs: int) -> dict:
+    """Train one Neuro-C zoo tier (a single parallelizable unit)."""
+    dataset = load("mnist_like")
+    entry = zoo_entry(f"mnist-{tier}")
+    trained = train_neuroc(
+        entry.config, dataset, epochs=epochs, lr=entry.lr
+    )
+    memory = model_program_memory(
+        trained.quantized.specs, format_name="block"
+    )
+    return {
+        "accuracy": trained.quantized_accuracy,
+        "parameters": trained.parameter_count,
+        "nnz": sum(
+            layer.nnz for layer in trained.model.neuroc_layers()
+        ),
+        "memory_kb": memory.total_kb,
+        "latency_ms": analytic_model_latency_ms(
+            trained.quantized, "block"
+        ),
+        "deployable": memory.fits(STM32F072RB),
+    }
+
+
+def tier_units() -> list[runner.WorkUnit]:
+    units = []
+    for tier in TIERS:
+        epochs = runner.effective_epochs(zoo_entry(f"mnist-{tier}").epochs)
+        units.append(runner.WorkUnit(
+            key=f"{SCHEMA}-neuroc-{tier}-e{epochs}",
+            fn=_tier_unit, args=(tier, epochs),
+        ))
+    return units
+
+
+def neuroc_tier_points(jobs: int | None = None) -> dict[str, NeuroCPoint]:
     """Train (or load) the three MNIST zoo scales."""
-
-    def compute() -> dict[str, dict]:
-        dataset = load("mnist_like")
-        out = {}
-        for tier in TIERS:
-            entry = zoo_entry(f"mnist-{tier}")
-            trained = train_neuroc(
-                entry.config, dataset, epochs=entry.epochs, lr=entry.lr
-            )
-            memory = model_program_memory(
-                trained.quantized.specs, format_name="block"
-            )
-            out[tier] = {
-                "accuracy": trained.quantized_accuracy,
-                "parameters": trained.parameter_count,
-                "nnz": sum(
-                    layer.nnz for layer in trained.model.neuroc_layers()
-                ),
-                "memory_kb": memory.total_kb,
-                "latency_ms": analytic_model_latency_ms(
-                    trained.quantized, "block"
-                ),
-                "deployable": memory.fits(STM32F072RB),
-            }
-        return out
-
-    raw = cached_json(f"{SCHEMA}-neuroc-tiers", compute)
-    return {tier: NeuroCPoint(tier=tier, **raw[tier]) for tier in TIERS}
+    raw = runner.map_units(
+        "fig6-tiers", tier_units(), jobs=jobs,
+        setup=lambda: load("mnist_like"),
+    )
+    return {
+        tier: NeuroCPoint(tier=tier, **row)
+        for tier, row in zip(TIERS, raw)
+    }
 
 
-def tier_comparisons(seed: int = 0) -> list[TierComparison]:
+def tier_comparisons(
+    seed: int = 0, jobs: int | None = None
+) -> list[TierComparison]:
     """Figure 6c/6d: pair each tier with the smallest matching MLP."""
-    mlps = mlp_search_points(seed)
-    tiers = neuroc_tier_points()
+    mlps = mlp_search_points(seed, jobs=jobs)
+    tiers = neuroc_tier_points(jobs=jobs)
     comparisons = []
     for tier in TIERS:
         neuroc = tiers[tier]

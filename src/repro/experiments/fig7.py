@@ -21,11 +21,12 @@ from repro.core.zoo import BEST_DEPLOYABLE, zoo_entry
 from repro.datasets import EVALUATION_DATASETS, load
 from repro.deploy.artifact import analytic_model_latency_ms
 from repro.deploy.size import model_program_memory
-from repro.experiments.cache import cached_json
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.mcu.board import STM32F072RB
 
-SCHEMA = "fig7-v1"
+#: v2: one cache entry per (dataset, family) training unit.
+SCHEMA = "fig7-v2"
 
 #: Pinned winners of the per-dataset MLP searches: the largest/most
 #: accurate configurations whose int8 deployment still fits 128 KB
@@ -52,47 +53,69 @@ class Fig7Row:
     deployable: bool
 
 
-def run_fig7() -> list[Fig7Row]:
+def _mlp_unit(name: str, epochs: int) -> dict:
+    """The best deployable MLP on one dataset (one training unit)."""
+    dataset = load(name)
+    mlp = train_mlp(BEST_MLP_CONFIGS[name], dataset, epochs=epochs)
+    mlp_memory = model_program_memory(mlp.quantized.specs)
+    return {
+        "dataset": name, "family": "mlp",
+        "accuracy": mlp.quantized_accuracy,
+        "latency_ms": analytic_model_latency_ms(mlp.quantized),
+        "memory_kb": mlp_memory.total_kb,
+        "deployable": mlp_memory.fits(STM32F072RB),
+    }
+
+
+def _neuroc_unit(name: str, epochs: int) -> dict:
+    """The zoo's best Neuro-C on one dataset (one training unit)."""
+    dataset = load(name)
+    entry = zoo_entry(BEST_DEPLOYABLE[name])
+    neuroc = train_neuroc(entry.config, dataset,
+                          epochs=epochs, lr=entry.lr)
+    nc_memory = model_program_memory(
+        neuroc.quantized.specs, format_name="block"
+    )
+    return {
+        "dataset": name, "family": "neuroc",
+        "accuracy": neuroc.quantized_accuracy,
+        "latency_ms": analytic_model_latency_ms(
+            neuroc.quantized, "block"
+        ),
+        "memory_kb": nc_memory.total_kb,
+        "deployable": nc_memory.fits(STM32F072RB),
+    }
+
+
+def figure_units() -> list[runner.WorkUnit]:
+    """Six independent trainings: (dataset × family), paper order."""
+    units = []
+    for name in EVALUATION_DATASETS:
+        mlp_epochs = runner.effective_epochs(MLP_EPOCHS)
+        units.append(runner.WorkUnit(
+            key=f"{SCHEMA}-{name}-mlp-e{mlp_epochs}",
+            fn=_mlp_unit, args=(name, mlp_epochs),
+        ))
+        nc_epochs = runner.effective_epochs(
+            zoo_entry(BEST_DEPLOYABLE[name]).epochs
+        )
+        units.append(runner.WorkUnit(
+            key=f"{SCHEMA}-{name}-neuroc-e{nc_epochs}",
+            fn=_neuroc_unit, args=(name, nc_epochs),
+        ))
+    return units
+
+
+def _warm_datasets() -> None:
+    for name in EVALUATION_DATASETS:
+        load(name)
+
+
+def run_fig7(jobs: int | None = None) -> list[Fig7Row]:
     """Train (or load) both families on the three datasets."""
-
-    def compute() -> list[dict]:
-        rows: list[dict] = []
-        for name in EVALUATION_DATASETS:
-            dataset = load(name)
-
-            mlp = train_mlp(BEST_MLP_CONFIGS[name], dataset,
-                            epochs=MLP_EPOCHS)
-            mlp_memory = model_program_memory(mlp.quantized.specs)
-            rows.append(
-                {
-                    "dataset": name, "family": "mlp",
-                    "accuracy": mlp.quantized_accuracy,
-                    "latency_ms": analytic_model_latency_ms(mlp.quantized),
-                    "memory_kb": mlp_memory.total_kb,
-                    "deployable": mlp_memory.fits(STM32F072RB),
-                }
-            )
-
-            entry = zoo_entry(BEST_DEPLOYABLE[name])
-            neuroc = train_neuroc(entry.config, dataset,
-                                  epochs=entry.epochs, lr=entry.lr)
-            nc_memory = model_program_memory(
-                neuroc.quantized.specs, format_name="block"
-            )
-            rows.append(
-                {
-                    "dataset": name, "family": "neuroc",
-                    "accuracy": neuroc.quantized_accuracy,
-                    "latency_ms": analytic_model_latency_ms(
-                        neuroc.quantized, "block"
-                    ),
-                    "memory_kb": nc_memory.total_kb,
-                    "deployable": nc_memory.fits(STM32F072RB),
-                }
-            )
-        return rows
-
-    raw = cached_json(f"{SCHEMA}-best-deployable", compute)
+    raw = runner.map_units(
+        "fig7", figure_units(), jobs=jobs, setup=_warm_datasets,
+    )
     return [Fig7Row(**r) for r in raw]
 
 

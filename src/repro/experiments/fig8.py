@@ -28,13 +28,15 @@ from repro.core.zoo import BEST_DEPLOYABLE, zoo_entry
 from repro.datasets import EVALUATION_DATASETS, load
 from repro.deploy.artifact import analytic_model_latency_ms
 from repro.deploy.size import model_program_memory
-from repro.experiments.cache import cached_json
+from repro.experiments import runner
 from repro.experiments.tables import format_table
 from repro.kernels.spec import LayerKernelSpec
 from repro.nn.trainer import CONVERGENCE_MARGIN
 from repro.quantize.ptq import QuantizedModel
 
-SCHEMA = "fig8-v1"
+#: v2: one cache entry per dataset (each unit trains the Neuro-C / TNN
+#: pair so the ablation deltas stay computed side by side).
+SCHEMA = "fig8-v2"
 
 
 @dataclass(frozen=True)
@@ -83,51 +85,68 @@ def _strip_per_neuron_mult(quantized: QuantizedModel) -> QuantizedModel:
     )
 
 
-def run_fig8() -> list[Fig8Row]:
-    def compute() -> list[dict]:
-        rows = []
-        for name in EVALUATION_DATASETS:
-            dataset = load(name)
-            entry = zoo_entry(BEST_DEPLOYABLE[name])
-            neuroc = train_neuroc(entry.config, dataset,
-                                  epochs=entry.epochs, lr=entry.lr)
-            tnn = train_tnn(entry.config, dataset, epochs=entry.epochs,
-                            lr=entry.lr)
+def _ablation_unit(name: str, epochs: int) -> dict:
+    """Neuro-C vs TNN on one dataset — an independent training unit."""
+    dataset = load(name)
+    entry = zoo_entry(BEST_DEPLOYABLE[name])
+    neuroc = train_neuroc(entry.config, dataset,
+                          epochs=epochs, lr=entry.lr)
+    tnn = train_tnn(entry.config, dataset, epochs=epochs,
+                    lr=entry.lr)
 
-            with_scale = neuroc.quantized
-            without_scale = _strip_per_neuron_mult(with_scale)
-            latency_with = analytic_model_latency_ms(with_scale, "block")
-            latency_without = analytic_model_latency_ms(
-                without_scale, "block"
-            )
-            memory_with = model_program_memory(
-                with_scale.specs, format_name="block"
-            )
-            memory_without = model_program_memory(
-                without_scale.specs, format_name="block"
-            )
-            rows.append(
-                {
-                    "dataset": name,
-                    "neuroc_accuracy": neuroc.quantized_accuracy,
-                    "tnn_accuracy": tnn.quantized_accuracy,
-                    # Convergence judged on the deployed model's accuracy:
-                    # the paper's "fails to converge entirely" is about the
-                    # usable end state, not a transient training spike.
-                    "tnn_converged": (
-                        tnn.quantized_accuracy
-                        >= tnn.history.chance + CONVERGENCE_MARGIN
-                    ),
-                    "chance": tnn.history.chance,
-                    "latency_increase_ms": latency_with - latency_without,
-                    "memory_increase_bytes": (
-                        memory_with.total_bytes - memory_without.total_bytes
-                    ),
-                }
-            )
-        return rows
+    with_scale = neuroc.quantized
+    without_scale = _strip_per_neuron_mult(with_scale)
+    latency_with = analytic_model_latency_ms(with_scale, "block")
+    latency_without = analytic_model_latency_ms(
+        without_scale, "block"
+    )
+    memory_with = model_program_memory(
+        with_scale.specs, format_name="block"
+    )
+    memory_without = model_program_memory(
+        without_scale.specs, format_name="block"
+    )
+    return {
+        "dataset": name,
+        "neuroc_accuracy": neuroc.quantized_accuracy,
+        "tnn_accuracy": tnn.quantized_accuracy,
+        # Convergence judged on the deployed model's accuracy:
+        # the paper's "fails to converge entirely" is about the
+        # usable end state, not a transient training spike.
+        "tnn_converged": (
+            tnn.quantized_accuracy
+            >= tnn.history.chance + CONVERGENCE_MARGIN
+        ),
+        "chance": tnn.history.chance,
+        "latency_increase_ms": latency_with - latency_without,
+        "memory_increase_bytes": (
+            memory_with.total_bytes - memory_without.total_bytes
+        ),
+    }
 
-    raw = cached_json(f"{SCHEMA}-ablation", compute)
+
+def figure_units() -> list[runner.WorkUnit]:
+    units = []
+    for name in EVALUATION_DATASETS:
+        epochs = runner.effective_epochs(
+            zoo_entry(BEST_DEPLOYABLE[name]).epochs
+        )
+        units.append(runner.WorkUnit(
+            key=f"{SCHEMA}-ablation-{name}-e{epochs}",
+            fn=_ablation_unit, args=(name, epochs),
+        ))
+    return units
+
+
+def _warm_datasets() -> None:
+    for name in EVALUATION_DATASETS:
+        load(name)
+
+
+def run_fig8(jobs: int | None = None) -> list[Fig8Row]:
+    raw = runner.map_units(
+        "fig8", figure_units(), jobs=jobs, setup=_warm_datasets,
+    )
     return [Fig8Row(**r) for r in raw]
 
 

@@ -8,11 +8,17 @@ results (they train on first use).
 Usage::
 
     python -m repro.experiments.report > EXPERIMENTS.md
+    python -m repro report --jobs 4      # same body, parallel training
+
+Training units fan out over worker processes when a job count is set
+(``repro report --jobs N`` or ``REPRO_JOBS``); the rendered report is
+byte-identical at any job count (see repro.experiments.runner).
 """
 
 from __future__ import annotations
 
 from repro.core.zoo import PAPER_REFERENCE
+from repro.errors import ConfigurationError
 from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8
 from repro.mcu.board import format_mcu_class_table
 
@@ -211,18 +217,32 @@ def fig8_section() -> str:
     return "\n".join(lines)
 
 
-def generate_report() -> str:
-    """The full paper-vs-measured report body."""
-    sections = [
-        table1_section(),
-        fig1_section(),
-        fig2_section(),
-        fig5_section(),
-        fig6_section(),
-        fig7_section(),
-        fig8_section(),
-    ]
-    return "\n".join(sections)
+#: Section registry, in presentation order; ``repro report --figures``
+#: selects a subset by these names.
+SECTIONS: dict[str, object] = {
+    "table1": table1_section,
+    "fig1": fig1_section,
+    "fig2": fig2_section,
+    "fig5": fig5_section,
+    "fig6": fig6_section,
+    "fig7": fig7_section,
+    "fig8": fig8_section,
+}
+
+
+def generate_report(figures: list[str] | None = None) -> str:
+    """The paper-vs-measured report body (all sections by default)."""
+    if figures is None:
+        selected = list(SECTIONS)
+    else:
+        unknown = [f for f in figures if f not in SECTIONS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown report sections {unknown}; "
+                f"known: {list(SECTIONS)}"
+            )
+        selected = [name for name in SECTIONS if name in figures]
+    return "\n".join(SECTIONS[name]() for name in selected)
 
 
 if __name__ == "__main__":

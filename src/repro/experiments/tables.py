@@ -45,6 +45,34 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def format_timing_table(rows: Sequence[dict]) -> str:
+    """Render the runner's per-figure timing summary.
+
+    ``rows`` is :func:`repro.experiments.runner.timing_summary` output:
+    one dict per ``map_units`` invocation with wall time, job count,
+    unit counts, and the cold/warm flag.
+    """
+    if not rows:
+        return "no experiment units executed (all figures cache-free)"
+    table_rows = [
+        (
+            r["figure"], r["jobs"], r["units"], r["cold_units"],
+            "cold" if r["cold"] else "warm",
+            f"{r['wall_seconds']:.2f}",
+            f"{r['unit_seconds']:.2f}",
+            "—" if r["speedup_vs_serial"] is None
+            else f"x{r['speedup_vs_serial']:.2f}",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("figure", "jobs", "units", "computed", "cache", "wall s",
+         "unit s", "speedup"),
+        table_rows,
+        title="Experiment unit timings (wall vs summed unit time)",
+    )
+
+
 def ratio_str(measured: float, paper: float | None) -> str:
     """'measured (paper X, ratio Y)' annotation for comparison columns."""
     if paper is None:

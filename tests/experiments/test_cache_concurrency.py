@@ -2,11 +2,18 @@
 
 Concurrent benchmark workers hammer one key: no interleaved partial
 JSON on disk, compute runs once per process, every reader sees the
-complete value.
+complete value.  The thread tests cover the in-process locking; the
+multiprocessing test at the bottom races real worker processes the way
+the parallel experiment runner does.
 """
 
 import json
+import multiprocessing
+import os
 import threading
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 
 import pytest
 
@@ -128,3 +135,77 @@ class TestCachedJsonConcurrency:
         assert json.loads(
             (isolated_cache / "broken.json").read_text()
         ) == {"ok": True}
+
+
+# -- cross-process ------------------------------------------------------------
+
+_MP_PAYLOAD = {"rows": list(range(400)), "who": "any"}
+
+
+def _mp_hammer(cache_root: str, sentinel_dir: str) -> list:
+    """One worker process: hit the same key repeatedly.
+
+    Every actual computation drops a pid-stamped sentinel file, so the
+    parent can count computations per process after the race.
+    """
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    cache.clear_memory_cache()  # forked children share the parent memo
+    pid = os.getpid()
+
+    def compute():
+        stamp = f"compute-{pid}-{uuid.uuid4().hex}"
+        (Path(sentinel_dir) / stamp).touch()
+        return _MP_PAYLOAD
+
+    return [
+        cache.cached_json("mp-hammered", compute) for _ in range(5)
+    ]
+
+
+class TestCachedJsonAcrossProcesses:
+    def test_one_key_hammered_by_many_processes(self, isolated_cache,
+                                                tmp_path):
+        """N real processes race one cold key, runner-style.
+
+        Across processes several may compute before the first publish
+        (last writer wins, all wrote equal bytes) — but each process
+        computes at most once, the published file is always complete
+        JSON, and no temp files leak.
+        """
+        sentinel_dir = tmp_path / "sentinels"
+        sentinel_dir.mkdir()
+        workers = 6
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _mp_hammer, str(isolated_cache), str(sentinel_dir)
+                )
+                for _ in range(workers)
+            ]
+            results = [f.result(timeout=60) for f in futures]
+
+        # Every read in every process saw the complete value.
+        assert all(
+            value == _MP_PAYLOAD
+            for worker_values in results
+            for value in worker_values
+        )
+        # At least one process computed; no process computed twice.
+        per_pid: dict[str, int] = {}
+        for sentinel in sentinel_dir.iterdir():
+            pid = sentinel.name.split("-")[1]
+            per_pid[pid] = per_pid.get(pid, 0) + 1
+        assert per_pid
+        assert all(count == 1 for count in per_pid.values())
+        # The published entry is one complete, parseable JSON document.
+        on_disk = json.loads(
+            (isolated_cache / "mp-hammered.json").read_text()
+        )
+        assert on_disk == _MP_PAYLOAD
+        assert list(isolated_cache.glob("*.tmp")) == []

@@ -25,8 +25,12 @@ def _nc_point(tier, accuracy, memory_kb, latency_ms):
 
 class TestFig6Pairing:
     def _comparisons(self, monkeypatch, mlps, tiers):
-        monkeypatch.setattr(fig6, "mlp_search_points", lambda seed=0: mlps)
-        monkeypatch.setattr(fig6, "neuroc_tier_points", lambda: tiers)
+        monkeypatch.setattr(
+            fig6, "mlp_search_points", lambda seed=0, jobs=None: mlps
+        )
+        monkeypatch.setattr(
+            fig6, "neuroc_tier_points", lambda jobs=None: tiers
+        )
         return fig6.tier_comparisons()
 
     def test_pairs_with_smallest_matching_mlp(self, monkeypatch):

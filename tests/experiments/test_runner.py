@@ -1,0 +1,191 @@
+"""The work-unit execution engine behind every training-backed figure.
+
+Covers job-count resolution, the epoch cap, per-unit seeding, the
+sequential/parallel determinism contract, the warm-cache fast path, and
+the timing registry ``repro report`` and the benchmarks persist.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import cache, runner
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_MAX_EPOCHS", raising=False)
+    cache.clear_memory_cache()
+    runner.reset_timings()
+    yield tmp_path
+    cache.clear_memory_cache()
+    runner.reset_timings()
+
+
+# Module-level unit fns: worker processes import them by reference.
+
+def _square(n: int) -> dict:
+    return {"n": n, "sq": n * n}
+
+
+def _seeded_draw(key: str) -> list:
+    rng = np.random.default_rng(runner.unit_seed(key))
+    return [float(v) for v in rng.random(4)]
+
+
+def _units(count: int = 3, cache_units: bool = True):
+    return [
+        runner.WorkUnit(
+            key=f"test-unit-{i}", fn=_square, args=(i,),
+            cache=cache_units,
+        )
+        for i in range(count)
+    ]
+
+
+class TestJobResolution:
+    def test_default_is_sequential(self):
+        assert runner.resolve_jobs() == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert runner.resolve_jobs() == 3
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert runner.resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert runner.resolve_jobs(0) >= 1
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS"):
+            runner.resolve_jobs()
+
+
+class TestEffectiveEpochs:
+    def test_no_cap(self):
+        assert runner.effective_epochs(30) == 30
+
+    def test_cap_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EPOCHS", "5")
+        assert runner.effective_epochs(30) == 5
+        assert runner.effective_epochs(3) == 3
+
+    def test_zero_cap_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EPOCHS", "0")
+        assert runner.effective_epochs(30) == 30
+
+    def test_invalid_cap_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_EPOCHS", "lots")
+        with pytest.raises(ConfigurationError, match="REPRO_MAX_EPOCHS"):
+            runner.effective_epochs(30)
+
+
+class TestUnitSeed:
+    def test_deterministic(self):
+        assert runner.unit_seed("a-key") == runner.unit_seed("a-key")
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {runner.unit_seed(f"key-{i}") for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_fits_default_rng(self):
+        seed = runner.unit_seed("any")
+        assert 0 <= seed < 2 ** 63
+        np.random.default_rng(seed)  # must be a legal seed
+
+
+class TestMapUnits:
+    def test_values_in_input_order(self, isolated):
+        values = runner.map_units("t", _units())
+        assert values == [{"n": i, "sq": i * i} for i in range(3)]
+
+    def test_duplicate_keys_rejected(self):
+        units = _units(2) + _units(1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            runner.map_units("t", units)
+
+    def test_results_published_to_disk(self, isolated):
+        runner.map_units("t", _units())
+        assert json.loads(
+            (isolated / "test-unit-2.json").read_text()
+        ) == {"n": 2, "sq": 4}
+
+    def test_uncached_units_never_hit_disk(self, isolated):
+        values = runner.map_units("t", _units(cache_units=False))
+        assert values[1] == {"n": 1, "sq": 1}
+        assert list(isolated.glob("*.json")) == []
+
+    def test_warm_run_does_not_recompute(self, isolated):
+        runner.map_units("t", _units())
+        cache.clear_memory_cache()
+        runner.reset_timings()
+        runner.map_units("t", _units())
+        (run,) = runner.runs()
+        assert run.cold_units == 0
+
+    def test_parallel_matches_sequential(self, isolated, tmp_path,
+                                         monkeypatch):
+        keys = [f"draw-{i}" for i in range(4)]
+
+        def units():
+            return [
+                runner.WorkUnit(key=k, fn=_seeded_draw, args=(k,))
+                for k in keys
+            ]
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "seq"))
+        cache.clear_memory_cache()
+        sequential = runner.map_units("t", units(), jobs=1)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "par"))
+        cache.clear_memory_cache()
+        parallel = runner.map_units("t", units(), jobs=2)
+
+        assert parallel == sequential
+        # Both cache trees hold byte-identical published files.
+        for key in keys:
+            seq_file = (tmp_path / "seq" / f"{key}.json").read_bytes()
+            par_file = (tmp_path / "par" / f"{key}.json").read_bytes()
+            assert seq_file == par_file
+
+    def test_setup_runs_before_pool(self, isolated):
+        ran = []
+        runner.map_units(
+            "t", _units(), jobs=2, setup=lambda: ran.append(True)
+        )
+        assert ran == [True]
+
+
+class TestTimingRegistry:
+    def test_runs_recorded(self, isolated):
+        runner.map_units("alpha", _units())
+        runner.map_units("beta", _units(cache_units=False))
+        assert [r.figure for r in runner.runs()] == ["alpha", "beta"]
+        (summary_a, summary_b) = runner.timing_summary()
+        assert summary_a["units"] == 3
+        assert summary_a["cold"] is True
+        assert summary_b["figure"] == "beta"
+
+    def test_write_timings(self, isolated, tmp_path):
+        runner.map_units("alpha", _units())
+        out = runner.write_timings(tmp_path / "timings.json")
+        payload = json.loads(out.read_text())
+        assert payload["figures"][0]["figure"] == "alpha"
+        assert len(payload["units"]) == 3
+        assert {"figure", "key", "seconds", "cold", "worker"} <= set(
+            payload["units"][0]
+        )
+
+    def test_format_summary_mentions_figures(self, isolated):
+        runner.map_units("alpha", _units())
+        text = runner.format_timing_summary()
+        assert "alpha" in text and "wall" in text

@@ -1,0 +1,52 @@
+"""`repro report --jobs N` must be byte-identical to `--jobs 1`.
+
+The acceptance contract of the parallel experiment engine: fanning the
+training units out over worker processes changes wall-clock time and
+nothing else.  Runs the real CLI in subprocesses against fresh cache
+directories, scaled down with ``REPRO_MAX_EPOCHS`` so the whole check
+trains in seconds (the unscaled equivalent runs in CI).
+
+The figure subset covers both unit kinds: fig1 is cached training units
+(disk round-trip path), fig2/fig5 are uncached analytic units (pool
+return path).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+FIGURES = ("table1", "fig1", "fig2", "fig5")
+
+
+def _render(tmp_path: Path, tag: str, jobs: int) -> bytes:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_CACHE_DIR"] = str(tmp_path / f"cache-{tag}")
+    env["REPRO_MAX_EPOCHS"] = "1"
+    env.pop("REPRO_JOBS", None)
+    out = tmp_path / f"report-{tag}.md"
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "report",
+            "--jobs", str(jobs), "--figures", *FIGURES,
+            "--out", str(out),
+        ],
+        env=env, capture_output=True, text=True, timeout=570,
+    )
+    assert completed.returncode == 0, completed.stderr
+    # The timing summary goes to stderr, never into the report body.
+    assert "Experiment unit timings" in completed.stderr
+    return out.read_bytes()
+
+
+def test_parallel_report_byte_identical(tmp_path):
+    sequential = _render(tmp_path, "seq", jobs=1)
+    parallel = _render(tmp_path, "par", jobs=4)
+    assert sequential  # non-empty body
+    assert parallel == sequential
