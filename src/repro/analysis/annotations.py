@@ -1,0 +1,66 @@
+"""Concurrency annotations: declare lock discipline instead of hoping.
+
+The static concurrency analyzer (:mod:`repro.analysis.concurrency`)
+*infers* which lock guards which field from ``with`` regions, but
+inference has gaps — a helper that is only ever called with the lock
+already held, a field whose guard the code cannot demonstrate yet, a
+``with`` over a dynamically produced lock.  This module is the explicit
+layer that closes those gaps **declaratively**, so exceptions are
+visible in the source instead of silenced in a config file:
+
+``@guarded_by("_lock")``
+    On a method: every call site must hold the named lock of the
+    method's class (or module), and the method body is analyzed as if
+    the lock were held.  At runtime the decorator is free — it only
+    tags the function — so annotated helpers cost nothing in the hot
+    path.
+
+``# guarded_by: _lock``
+    Trailing comment on a field's initializing assignment (in
+    ``__init__`` or at module level).  Declares the field's guard
+    outright: the analyzer skips inference and flags *every* unlocked
+    access, even ones inference alone would have tolerated.
+
+``# holds: _KEY_LOCKS[key]``
+    Trailing comment on a ``with`` statement whose context expression
+    the analyzer cannot resolve to a lock (e.g. a lock pulled out of a
+    dict).  Names the synthetic lock node the region acquires.
+
+``# lockfree_ok: <reason>``
+    Trailing comment on an access the author asserts is deliberately
+    lock-free (e.g. a monotonic flag read on the fast path).  The
+    analyzer reports it as *waived* — visible in ``--verbose`` output —
+    rather than as a violation.
+
+Comment annotations are parsed from source by the analyzer; only the
+decorator exists at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Attribute the decorator stores its lock name under (the analyzer
+#: reads the AST, but runtime introspection — e.g. the sanitizer's
+#: diagnostics — can use this too).
+GUARDED_BY_ATTR = "__guarded_by__"
+
+
+def guarded_by(lock: str) -> Callable[[_F], _F]:
+    """Declare that callers must hold ``lock`` around this function.
+
+    ``lock`` names an instance lock of the owning class (``"_lock"``)
+    or a module-level lock (``"_MEMO_LOCK"``).  The analyzer treats the
+    body as executing with that lock held and checks every resolved
+    call site actually holds it.
+    """
+    if not isinstance(lock, str) or not lock:
+        raise TypeError("guarded_by() takes the lock's attribute name")
+
+    def mark(fn: _F) -> _F:
+        setattr(fn, GUARDED_BY_ATTR, lock)
+        return fn
+
+    return mark

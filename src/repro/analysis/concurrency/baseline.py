@@ -1,0 +1,56 @@
+"""Baseline file: intentional exceptions, checked in and reviewed.
+
+The baseline maps violation fingerprints (line-independent:
+``rule::module::function::subject``) to a one-line justification.
+``repro lint-concurrency`` exits non-zero only for violations *not*
+in the baseline, so refactors that move code do not churn it, but any
+new unguarded access shows up immediately.  Stale entries (fingerprints
+no longer produced) are reported so the baseline shrinks over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BASELINE_NAME = "concurrency_baseline.json"
+
+
+def load_baseline(path: str | Path) -> dict:
+    """fingerprint -> reason; missing file means empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    entries = data.get("violations", data)
+    if isinstance(entries, list):            # legacy list form
+        return {e["fingerprint"]: e.get("reason", "") for e in entries}
+    return dict(entries)
+
+
+def write_baseline(path: str | Path, violations, reasons=None) -> None:
+    """Serialize current violations as the new baseline."""
+    reasons = reasons or {}
+    entries = {}
+    for violation in sorted(violations, key=lambda v: v.fingerprint):
+        entries[violation.fingerprint] = reasons.get(
+            violation.fingerprint,
+            violation.waived or "baselined pre-existing finding",
+        )
+    Path(path).write_text(json.dumps(
+        {"version": 1, "violations": entries}, indent=2, sort_keys=True,
+    ) + "\n")
+
+
+def split_against_baseline(violations, baseline: dict):
+    """-> (new, baselined, stale_fingerprints)."""
+    new, known = [], []
+    seen = set()
+    for violation in violations:
+        seen.add(violation.fingerprint)
+        if violation.fingerprint in baseline:
+            known.append(violation)
+        else:
+            new.append(violation)
+    stale = sorted(set(baseline) - seen)
+    return new, known, stale

@@ -1,0 +1,91 @@
+"""Driver: paths in, :class:`ConcurrencyReport` out.
+
+Collects ``.py`` files, extracts module models, runs all three
+checking passes (guarded-by, lock order, hygiene) over the *combined*
+program, and bundles violations with the lock graph and guard map so
+the CLI, the tests, and the runtime sanitizer all consume one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.concurrency.extract import extract_module
+from repro.analysis.concurrency.guarded import check_guarded, infer_guards
+from repro.analysis.concurrency.hygiene import check_hygiene
+from repro.analysis.concurrency.lockorder import (
+    LockOrderGraph,
+    _build_indexes,
+    build_lock_graph,
+    check_lock_order,
+    resolve_call,
+)
+
+_SKIP_PARTS = {"__pycache__", ".git", "corpus"}
+
+
+@dataclass
+class ConcurrencyReport:
+    """Everything one analysis run produced."""
+
+    modules: list = field(default_factory=list)
+    guards: dict = field(default_factory=dict)
+    graph: LockOrderGraph = field(default_factory=LockOrderGraph)
+    violations: list = field(default_factory=list)
+
+    @property
+    def active(self) -> list:
+        """Violations not waived by an inline ``# lockfree_ok``."""
+        return [v for v in self.violations if not v.waived]
+
+    @property
+    def waived(self) -> list:
+        return [v for v in self.violations if v.waived]
+
+    def by_rule(self) -> dict:
+        out: dict = {}
+        for violation in self.active:
+            out.setdefault(violation.rule, []).append(violation)
+        return out
+
+
+def collect_files(paths) -> list:
+    """Expand files/dirs into a sorted, deduplicated .py file list."""
+    files = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_PARTS & set(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    unique = []
+    seen = set()
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def analyze_paths(paths) -> ConcurrencyReport:
+    modules = [extract_module(f) for f in collect_files(paths)]
+    return analyze_modules(modules)
+
+
+def analyze_modules(modules) -> ConcurrencyReport:
+    guards = infer_guards(modules)
+    graph = build_lock_graph(modules)
+    indexes = _build_indexes(modules)
+    violations = []
+    violations.extend(check_guarded(modules, guards))
+    violations.extend(check_lock_order(graph))
+    violations.extend(check_hygiene(modules, indexes, resolve_call))
+    violations.sort(key=lambda v: (v.file, v.line, v.rule, v.subject))
+    return ConcurrencyReport(
+        modules=modules, guards=guards, graph=graph,
+        violations=violations,
+    )

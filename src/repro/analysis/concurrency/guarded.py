@@ -1,0 +1,221 @@
+"""Guarded-by inference and the data-race rule family.
+
+For every tracked field (instance attribute / module global) the pass
+collects all non-``__init__`` accesses across the program and asks:
+is there a lock that the code itself demonstrates guards this field?
+
+*Inference*: a lock is a guard **candidate** if it is held at at least
+one non-init *write* of the field.  Among candidates the one covering
+the most accesses wins; it becomes the inferred guard when it is held
+at every write, or failing that covers at least half of all non-init
+accesses (so the canonical racy shape — one locked ``+=`` and one bare
+read — is still caught).  Every access not holding the guard is then
+flagged — reads as ``unguarded-read``,
+writes as ``unguarded-write``, ``+=``-style sequences as
+``unguarded-rmw``.
+
+*Declaration*: a ``# guarded_by: X`` comment (or a field owned by a
+class whose every access happens under one lock) skips the majority
+test entirely — every unlocked access is flagged, full stop.
+
+Two composite shapes get dedicated rules because they are the exact
+bugs PR 4 shipped:
+
+``torn-read``
+    One function reads two or more *different* fields of the same
+    guard without holding it: the snapshot can tear mid-update.
+
+``check-then-act``
+    One function reads a guarded field unlocked and *later* writes it
+    under the lock: the decision is made on a stale value.  (The
+    constituent unguarded-read is folded into this finding.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.concurrency.model import (
+    CHECK_THEN_ACT,
+    TORN_READ,
+    UNGUARDED_READ,
+    UNGUARDED_RMW,
+    UNGUARDED_WRITE,
+    GuardInference,
+    Violation,
+)
+
+_RULE_FOR_KIND = {
+    "read": UNGUARDED_READ,
+    "write": UNGUARDED_WRITE,
+    "rmw": UNGUARDED_RMW,
+}
+
+
+def _resolve_declared(raw: str, owner: str, modules) -> str:
+    """A raw ``# guarded_by:`` name -> lock node (best effort)."""
+    if "." in raw:
+        return raw
+    for mod in modules:
+        cls = mod.classes.get(owner.rsplit(".", 1)[-1])
+        if cls is not None and cls.qualname == owner:
+            if raw in cls.locks:
+                return cls.locks[raw].node
+            if raw in mod.locks:
+                return mod.locks[raw].node
+            return f"{mod.module}.{raw}"
+        if mod.module == owner:
+            if raw in mod.locks:
+                return mod.locks[raw].node
+            return f"{mod.module}.{raw}"
+    return raw
+
+
+def infer_guards(modules) -> dict:
+    """Map ``(owner, field)`` -> :class:`GuardInference`."""
+    accesses = defaultdict(list)
+    declared: dict = {}
+    for mod in modules:
+        for name, raw in mod.declared_guards.items():
+            declared[(mod.module, name)] = _resolve_declared(
+                raw, mod.module, modules
+            )
+        for cls in mod.classes.values():
+            for attr, raw in cls.declared_guards.items():
+                declared[(cls.qualname, attr)] = _resolve_declared(
+                    raw, cls.qualname, modules
+                )
+        for fn in mod.all_functions():
+            for access in fn.accesses:
+                accesses[(access.owner, access.obj_field)].append(access)
+
+    inferred: dict = {}
+    for key, events in accesses.items():
+        live = [a for a in events if not a.in_init]
+        if key in declared:
+            lock = declared[key]
+            inferred[key] = GuardInference(
+                owner=key[0], obj_field=key[1], lock=lock, declared=True,
+                accesses=len(live),
+                guarded_accesses=sum(1 for a in live if lock in a.held),
+            )
+            continue
+        if not live:
+            continue
+        writes = [a for a in live if a.kind in ("write", "rmw")]
+        candidates = defaultdict(int)
+        for access in writes:
+            for lock in access.held:
+                candidates[lock] += 1
+        if not candidates:
+            continue
+        coverage = {
+            lock: sum(1 for a in live if lock in a.held)
+            for lock in candidates
+        }
+        best = max(coverage, key=lambda lock: (coverage[lock], lock))
+        # A guard is inferred when the code demonstrates it: either the
+        # lock is held at EVERY write (then any unlocked read races the
+        # writer), or it covers at least half of all accesses (then the
+        # stragglers are the anomaly, not the rule).
+        if candidates[best] < len(writes) and coverage[best] * 2 < len(live):
+            continue                       # mostly lock-free: by design
+        inferred[key] = GuardInference(
+            owner=key[0], obj_field=key[1], lock=best, declared=False,
+            accesses=len(live), guarded_accesses=coverage[best],
+        )
+    return inferred
+
+
+def check_guarded(modules, guards) -> list:
+    """All guarded-by violations, composite shapes included."""
+    violations: list = []
+    for mod in modules:
+        for fn in mod.all_functions():
+            violations.extend(_check_function(fn, guards))
+    return violations
+
+
+def _check_function(fn, guards) -> list:
+    bad = []                 # (access, guard) pairs failing the check
+    for access in fn.accesses:
+        guard = guards.get((access.owner, access.obj_field))
+        if guard is None or access.in_init:
+            continue
+        if guard.lock in access.held:
+            continue
+        bad.append((access, guard))
+
+    violations: list = []
+    # check-then-act: an unlocked read of F, then a locked write of F
+    # later in the same function.
+    folded = set()
+    writes_locked = defaultdict(list)
+    for access in fn.accesses:
+        guard = guards.get((access.owner, access.obj_field))
+        if (
+            guard is not None and access.kind in ("write", "rmw")
+            and guard.lock in access.held
+        ):
+            writes_locked[(access.owner, access.obj_field)].append(access)
+    for access, guard in bad:
+        if access.kind != "read" or access.waived:
+            continue
+        later = [
+            w for w in writes_locked[(access.owner, access.obj_field)]
+            if w.line > access.line
+        ]
+        if later:
+            folded.add(id(access))
+            violations.append(Violation(
+                rule=CHECK_THEN_ACT, module=fn.module,
+                function=fn.qualname, subject=access.obj_field,
+                message=(
+                    f"{access.owner}.{access.obj_field} is read without "
+                    f"{guard.lock} and then written under it at line "
+                    f"{later[0].line}: the check races the act"
+                ),
+                file=access.file, line=access.line,
+            ))
+
+    # torn-read: >= 2 distinct same-guard fields read unlocked here.
+    by_lock = defaultdict(list)
+    for access, guard in bad:
+        if access.kind == "read" and not access.waived \
+                and id(access) not in folded:
+            by_lock[(access.owner, guard.lock)].append(access)
+    torn = set()
+    for (owner, lock), reads in sorted(by_lock.items()):
+        fields = sorted({a.obj_field for a in reads})
+        if len(fields) < 2:
+            continue
+        first = min(reads, key=lambda a: a.line)
+        violations.append(Violation(
+            rule=TORN_READ, module=fn.module, function=fn.qualname,
+            subject=",".join(fields),
+            message=(
+                f"{owner}.{{{', '.join(fields)}}} are read together "
+                f"without {lock}: the multi-field snapshot can tear"
+            ),
+            file=first.file, line=first.line,
+        ))
+        torn.update(id(a) for a in reads)
+
+    for access, guard in bad:
+        if id(access) in folded or id(access) in torn:
+            continue
+        how = "declared" if guard.declared else (
+            f"inferred from {guard.guarded_accesses}/{guard.accesses} "
+            f"accesses"
+        )
+        violations.append(Violation(
+            rule=_RULE_FOR_KIND[access.kind], module=fn.module,
+            function=fn.qualname, subject=access.obj_field,
+            message=(
+                f"{access.owner}.{access.obj_field} is guarded by "
+                f"{guard.lock} ({how}) but {access.kind} here does not "
+                f"hold it"
+            ),
+            file=access.file, line=access.line, waived=access.waived,
+        ))
+    return violations

@@ -31,10 +31,10 @@ import threading
 from pathlib import Path
 from typing import Any, Callable
 
-_MEMO: dict[str, Any] = {}
+_MEMO: dict[str, Any] = {}  # guarded_by: _MEMO_LOCK
 _MEMO_LOCK = threading.Lock()
 #: Per-key locks so concurrent threads compute a key exactly once.
-_KEY_LOCKS: dict[str, threading.Lock] = {}
+_KEY_LOCKS: dict[str, threading.Lock] = {}  # guarded_by: _MEMO_LOCK
 
 
 def cache_dir() -> Path:

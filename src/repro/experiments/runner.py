@@ -93,7 +93,7 @@ class FigureRun:
     unit_timings: list[UnitTiming] = field(repr=False, default_factory=list)
 
 
-_RUNS: list[FigureRun] = []
+_RUNS: list[FigureRun] = []  # guarded_by: _RUNS_LOCK
 _RUNS_LOCK = threading.Lock()
 
 

@@ -472,9 +472,9 @@ def _build_translation(
 
 # -- translation cache ----------------------------------------------------
 
-_CACHE: dict = {}
+_CACHE: dict = {}  # guarded_by: _CACHE_LOCK
 _CACHE_LOCK = threading.Lock()
-_STATS = {"hits": 0, "misses": 0, "declined": 0}
+_STATS = {"hits": 0, "misses": 0, "declined": 0}  # guarded_by: _CACHE_LOCK
 
 
 def _layout_of(memory: MemoryMap) -> tuple[tuple[int, int, bool], ...]:

@@ -25,7 +25,7 @@ class Counter:
     """A monotonically increasing count (thread-safe)."""
 
     def __init__(self) -> None:
-        self._value = 0
+        self._value = 0  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
@@ -34,14 +34,18 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        # Read under the lock: an unlocked read races inc()'s RMW and
+        # is exactly the PR 4 tally-race shape the concurrency linter
+        # now flags (unguarded-read).
+        with self._lock:
+            return self._value
 
 
 class Gauge:
     """A point-in-time value (thread-safe set/add)."""
 
     def __init__(self) -> None:
-        self._value = 0.0
+        self._value = 0.0  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -54,7 +58,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -62,11 +67,11 @@ class Histogram:
 
     def __init__(self, capacity: int = RESERVOIR_SIZE, seed: int = 0) -> None:
         self._capacity = capacity
-        self._samples: list[float] = []
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
+        self._samples: list[float] = []  # guarded_by: _lock
+        self._count = 0  # guarded_by: _lock
+        self._sum = 0.0  # guarded_by: _lock
+        self._min = float("inf")  # guarded_by: _lock
+        self._max = float("-inf")  # guarded_by: _lock
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
 
@@ -86,7 +91,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def quantile(self, q: float) -> float:
         """The q-quantile (0..1) of the observed distribution, or 0.0."""
@@ -132,10 +138,10 @@ class MetricsRegistry:
     """Named metrics, created on first use, snapshotted as one dict."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-        self._labels: dict[str, str] = {}
+        self._counters: dict[str, Counter] = {}  # guarded_by: _lock
+        self._gauges: dict[str, Gauge] = {}  # guarded_by: _lock
+        self._histograms: dict[str, Histogram] = {}  # guarded_by: _lock
+        self._labels: dict[str, str] = {}  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def label(self, name: str, value: str | None = None) -> str | None:

@@ -95,11 +95,11 @@ class ModelRegistry:
     """Content-addressed store of verified deploy artifacts."""
 
     def __init__(self) -> None:
-        self._artifacts: dict[str, ModelArtifact] = {}
+        self._artifacts: dict[str, ModelArtifact] = {}  # guarded_by: _lock
         self._lock = threading.Lock()
         #: Number of register() calls answered from cache (observable so
         #: tests and benchmarks can prove the no-re-codegen property).
-        self.cache_hits = 0
+        self.cache_hits = 0  # guarded_by: _lock
 
     def register(
         self,
@@ -151,7 +151,8 @@ class ModelRegistry:
                 ) from None
 
     def __len__(self) -> int:
-        return len(self._artifacts)
+        with self._lock:
+            return len(self._artifacts)
 
     def model_ids(self) -> list[str]:
         with self._lock:

@@ -184,13 +184,13 @@ class ServeRuntime:
             n_devices=self.config.n_devices,
         )
         self._threads: list[threading.Thread] = []
-        self._outcomes: list[ServeOutcome] = []
+        self._outcomes: list[ServeOutcome] = []  # guarded_by: _outcome_lock
         self._outcome_lock = threading.Lock()
         # Guards the admission-side tallies below: `submit()` may be
         # called from many producer threads, and `n += 1` is not atomic.
         self._arrival_lock = threading.Lock()
-        self._offered = 0
-        self._last_arrival_ms = 0.0
+        self._offered = 0  # guarded_by: _arrival_lock
+        self._last_arrival_ms = 0.0  # guarded_by: _arrival_lock
         self._started = False
 
     # -- lifecycle -------------------------------------------------------

@@ -33,6 +33,7 @@ import heapq
 import itertools
 import threading
 
+from repro.analysis.annotations import guarded_by
 from repro.errors import AdmissionError, ConfigurationError
 from repro.serve.request import InferenceRequest
 
@@ -69,11 +70,11 @@ class BoundedRequestQueue:
         self.policy = policy
         self.max_depth = max_depth
         self.n_devices = n_devices
-        self._heap: list[tuple[tuple, int, InferenceRequest]] = []
         self._cv = threading.Condition()
-        self._closed = False
+        self._heap: list[tuple[tuple, int, InferenceRequest]] = []  # guarded_by: _cv
+        self._closed = False  # guarded_by: _cv
         self._seq = itertools.count()
-        self._in_flight = 0
+        self._in_flight = 0  # guarded_by: _cv
 
     # -- producer side ---------------------------------------------------
 
@@ -129,20 +130,10 @@ class BoundedRequestQueue:
         """
         with self._cv:
             while True:
-                batch, skipped = [], []
-                honour_avoid = self.n_devices > 1
-                while self._heap and len(batch) < max_batch:
-                    key, seq, request = heapq.heappop(self._heap)
-                    if (
-                        honour_avoid
-                        and request.avoid_device == device_id
-                    ):
-                        skipped.append((key, seq, request))
-                    else:
-                        batch.append(request)
-                for entry in skipped:
-                    heapq.heappush(self._heap, entry)
-                if skipped and not batch:
+                batch, skipped_all = self._pop_eligible(
+                    device_id, max_batch
+                )
+                if skipped_all:
                     # Everything pending avoids this device; let another
                     # worker grab it.
                     self._cv.notify()
@@ -156,6 +147,25 @@ class BoundedRequestQueue:
                     return None
                 if not self._cv.wait(timeout):
                     return []
+
+    @guarded_by("_cv")
+    def _pop_eligible(
+        self, device_id: int, max_batch: int
+    ) -> tuple[list[InferenceRequest], bool]:
+        """Pop up to ``max_batch`` heap entries this device may serve,
+        pushing back entries whose retry affinity avoids it.  Returns
+        the batch and whether *only* avoiding entries were pending."""
+        batch, skipped = [], []
+        honour_avoid = self.n_devices > 1
+        while self._heap and len(batch) < max_batch:
+            key, seq, request = heapq.heappop(self._heap)
+            if honour_avoid and request.avoid_device == device_id:
+                skipped.append((key, seq, request))
+            else:
+                batch.append(request)
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return batch, bool(skipped) and not batch
 
     def batch_done(self) -> None:
         """Mark one taken batch as fully processed (retries included)."""

@@ -116,8 +116,8 @@ class TraceCollector:
         if capacity <= 0:
             raise ConfigurationError("trace capacity must be positive")
         self.capacity = capacity
-        self._spans: list[Span] = []
-        self._dropped = 0
+        self._spans: list[Span] = []  # guarded_by: _lock
+        self._dropped = 0  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def record(self, span: Span) -> bool:

@@ -1,0 +1,12 @@
+"""Analysis-test fixtures.
+
+The sanitizer soak test drives a real ServeRuntime, so it borrows the
+serve suite's session-scoped artifact fixtures instead of training a
+second model.
+"""
+
+from tests.serve.conftest import (  # noqa: F401
+    serve_registry,
+    small_artifact,
+    small_trained,
+)

@@ -1,0 +1,36 @@
+"""Hygiene lint fixtures: raw acquire, naked wait, blocking under
+lock, and post-start ``__init__`` publication — one of each."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cv = threading.Condition()
+        self._ready = False
+        self._thread = threading.Thread(target=self.run)
+        self._thread.start()
+        # Published after the thread is live: it can observe the
+        # half-built object.  Expected: init-publish-after-start.
+        self._late_config = {"batch": 4}
+
+    def run(self) -> None:
+        # Expected: acquire-without-with (exception-unsafe).
+        self._lock.acquire()
+        try:
+            self._ready = True
+        finally:
+            self._lock.release()
+
+    def wait_ready(self) -> None:
+        with self._cv:
+            if not self._ready:
+                # Expected: wait-outside-loop (spurious wakeups).
+                self._cv.wait()
+
+    def flush(self) -> None:
+        with self._lock:
+            # Expected: blocking-call-under-lock.
+            time.sleep(0.01)

@@ -1,0 +1,27 @@
+"""PR 4 bug shape 3: idle-time mischarge via unguarded clock mutation.
+
+The dispatch path advances the device clock outside the lock the
+worker loop holds when reading it, so an idle jump and an overhead
+charge interleave and busy time absorbs the idle gap.  Expected:
+``unguarded-write``.
+"""
+
+import threading
+
+
+class Device:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._clock_ms = 0.0
+        self._busy_ms = 0.0
+
+    def begin_dispatch(self, overhead_ms: float) -> None:
+        # Mutates the clock with no lock while execute() charges busy
+        # time under it: the overhead lands inside the idle gap.
+        self._clock_ms = self._clock_ms + overhead_ms
+
+    def execute(self, duration_ms: float) -> float:
+        with self._lock:
+            self._clock_ms = self._clock_ms + duration_ms
+            self._busy_ms = self._busy_ms + duration_ms
+            return self._clock_ms

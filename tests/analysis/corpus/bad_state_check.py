@@ -1,0 +1,27 @@
+"""PR 4 bug shape 4: unlocked state-transition check (check-then-act).
+
+The drain path tests the closed flag outside the condition's lock and
+then flips it under the lock: two threads can both see "not closed"
+and both run the one-shot transition.  Expected: ``check-then-act``.
+"""
+
+import threading
+
+
+class Queue:
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._closed = False
+        self._drains = 0
+
+    def close_once(self) -> None:
+        if self._closed:            # stale read: the check...
+            return
+        with self._cv:
+            self._closed = True     # ...races the act
+            self._drains = self._drains + 1
+            self._cv.notify_all()
+
+    def is_closed(self) -> bool:
+        with self._cv:
+            return self._closed

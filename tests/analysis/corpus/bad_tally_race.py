@@ -1,0 +1,25 @@
+"""PR 4 bug shape 1: unlocked tally increment (lost updates).
+
+``submit()`` bumps the offered counter outside the lock every other
+method uses for it — the exact ``self._offered += 1`` race the soak
+harness caught dynamically.  Expected: ``unguarded-rmw``.
+"""
+
+import threading
+
+
+class Runtime:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._offered = 0
+
+    def submit(self) -> None:
+        self._offered += 1          # racy read-modify-write
+
+    def reset(self) -> None:
+        with self._lock:
+            self._offered = 0
+
+    def report(self) -> int:
+        with self._lock:
+            return self._offered

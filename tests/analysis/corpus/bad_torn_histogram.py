@@ -1,0 +1,30 @@
+"""PR 4 bug shape 2: torn multi-field histogram read.
+
+``summary()`` reads count/sum/max without the lock that ``observe()``
+updates them under: a concurrent observe between the piecemeal reads
+yields a snapshot whose fields come from different instants.
+Expected: ``torn-read``.
+"""
+
+import threading
+
+
+class Histogram:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._max = max(self._max, value)
+
+    def summary(self) -> dict:
+        return {
+            "count": self._count,    # torn: three reads, no lock
+            "mean": self._sum / max(self._count, 1),
+            "max": self._max,
+        }

@@ -1,0 +1,28 @@
+"""Clean counterpart of bad_torn_histogram: one-lock snapshot."""
+
+import threading
+
+
+class Histogram:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._max = max(self._max, value)
+
+    def summary(self) -> dict:
+        with self._lock:
+            count = self._count
+            total = self._sum
+            maximum = self._max
+        return {
+            "count": count,
+            "mean": total / max(count, 1),
+            "max": maximum,
+        }

@@ -1,0 +1,30 @@
+"""Clean counterpart of bad_hygiene: with-blocks, predicate loop,
+blocking work outside the lock, fields published before the thread,
+and one consistent lock (the condition) for the shared flag."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._ready = False
+        self._late_config = {"batch": 4}
+        self._thread = threading.Thread(target=self.run)
+        self._thread.start()
+
+    def run(self) -> None:
+        with self._cv:
+            self._ready = True
+            self._cv.notify_all()
+
+    def wait_ready(self) -> None:
+        with self._cv:
+            while not self._ready:
+                self._cv.wait()
+
+    def flush(self) -> None:
+        time.sleep(0.01)
+        with self._cv:
+            self._ready = False

@@ -1,0 +1,20 @@
+"""Clean counterpart of bad_idle_clock: both mutations locked."""
+
+import threading
+
+
+class Device:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._clock_ms = 0.0
+        self._busy_ms = 0.0
+
+    def begin_dispatch(self, overhead_ms: float) -> None:
+        with self._lock:
+            self._clock_ms = self._clock_ms + overhead_ms
+
+    def execute(self, duration_ms: float) -> float:
+        with self._lock:
+            self._clock_ms = self._clock_ms + duration_ms
+            self._busy_ms = self._busy_ms + duration_ms
+            return self._clock_ms

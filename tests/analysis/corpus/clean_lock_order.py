@@ -1,0 +1,23 @@
+"""Clean counterpart of bad_lock_cycle: one global acquisition order."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._a = 0
+        self._b = 0
+
+    def transfer_in(self, amount: int) -> None:
+        with self._lock_a:
+            self._a = self._a - amount
+            with self._lock_b:
+                self._b = self._b + amount
+
+    def transfer_out(self, amount: int) -> None:
+        with self._lock_a:
+            self._a = self._a + amount
+            with self._lock_b:
+                self._b = self._b - amount

@@ -1,0 +1,22 @@
+"""Clean counterpart of bad_state_check: test-and-set in one region."""
+
+import threading
+
+
+class Queue:
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._closed = False
+        self._drains = 0
+
+    def close_once(self) -> None:
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._drains = self._drains + 1
+            self._cv.notify_all()
+
+    def is_closed(self) -> bool:
+        with self._cv:
+            return self._closed

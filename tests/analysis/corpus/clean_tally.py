@@ -1,0 +1,17 @@
+"""Clean counterpart of bad_tally_race: every touch under the lock."""
+
+import threading
+
+
+class Runtime:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._offered = 0
+
+    def submit(self) -> None:
+        with self._lock:
+            self._offered += 1
+
+    def report(self) -> int:
+        with self._lock:
+            return self._offered

@@ -1,0 +1,166 @@
+"""The annotation layer: decorator semantics, declared guards,
+``# holds:`` resolution, and ``# lockfree_ok:`` waivers."""
+
+import textwrap
+
+from repro.analysis.annotations import GUARDED_BY_ATTR, guarded_by
+from repro.analysis.concurrency import analyze_paths
+from repro.analysis.concurrency.model import (
+    UNGUARDED_READ,
+    UNGUARDED_WRITE,
+    UNHELD_GUARDED_CALL,
+)
+import pytest
+
+
+def analyze_source(tmp_path, source: str):
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(source))
+    return analyze_paths([path])
+
+
+class TestDecorator:
+    def test_tags_the_function_and_returns_it(self):
+        @guarded_by("_lock")
+        def helper():
+            return 42
+
+        assert helper() == 42
+        assert getattr(helper, GUARDED_BY_ATTR) == "_lock"
+
+    def test_rejects_non_string_locks(self):
+        with pytest.raises(TypeError):
+            guarded_by(None)
+        with pytest.raises(TypeError):
+            guarded_by("")
+
+    def test_body_analyzed_as_if_lock_held(self, tmp_path):
+        report = analyze_source(tmp_path, """
+            import threading
+            from repro.analysis.annotations import guarded_by
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._push(item)
+
+                @guarded_by("_lock")
+                def _push(self, item):
+                    self._items.append(item)
+        """)
+        # The append inside _push holds the declared lock: no finding.
+        assert report.active == [], [v.format() for v in report.active]
+
+    def test_unheld_call_site_is_flagged(self, tmp_path):
+        report = analyze_source(tmp_path, """
+            import threading
+            from repro.analysis.annotations import guarded_by
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add_unlocked(self, item):
+                    self._push(item)
+
+                def add_locked(self, item):
+                    with self._lock:
+                        self._push(item)
+
+                @guarded_by("_lock")
+                def _push(self, item):
+                    self._items.append(item)
+        """)
+        unheld = report.by_rule()[UNHELD_GUARDED_CALL]
+        assert len(unheld) == 1
+        assert "add_unlocked" in unheld[0].function
+
+
+class TestDeclaredGuards:
+    def test_declaration_flags_every_unlocked_access(self, tmp_path):
+        # Inference alone would tolerate this 50/50 field; the
+        # declaration makes the unlocked write a finding.
+        report = analyze_source(tmp_path, """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._mode = "idle"  # guarded_by: _lock
+
+                def set_mode(self, mode):
+                    self._mode = mode
+
+                def mode_locked(self):
+                    with self._lock:
+                        return self._mode
+        """)
+        writes = report.by_rule()[UNGUARDED_WRITE]
+        assert [v.subject for v in writes] == ["_mode"]
+        guard = report.guards[("fixture.Box", "_mode")]
+        assert guard.declared
+
+    def test_module_level_declaration(self, tmp_path):
+        report = analyze_source(tmp_path, """
+            import threading
+
+            _LOCK = threading.Lock()
+            _TABLE = {}  # guarded_by: _LOCK
+
+            def put(key, value):
+                with _LOCK:
+                    _TABLE[key] = value
+
+            def peek(key):
+                return _TABLE.get(key)
+        """)
+        reads = report.by_rule()[UNGUARDED_READ]
+        assert [v.subject for v in reads] == ["_TABLE"]
+        assert "peek" in reads[0].function
+
+
+class TestHoldsAndWaivers:
+    def test_holds_comment_names_the_synthetic_lock(self, tmp_path):
+        report = analyze_source(tmp_path, """
+            import threading
+
+            _REGISTRY = {}
+
+            def _lock_for(key):
+                return _REGISTRY[key]
+
+            def update(key, table):
+                with _lock_for(key):  # holds: _key_locks
+                    table[key] = 1
+        """)
+        assert "fixture._key_locks" in report.graph.nodes
+
+    def test_lockfree_ok_waives_the_access(self, tmp_path):
+        report = analyze_source(tmp_path, """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._hits = 0  # guarded_by: _lock
+
+                def record(self):
+                    with self._lock:
+                        self._hits += 1
+
+                def hits_fast(self):
+                    return self._hits  # lockfree_ok: stats-only racy read
+
+                def hits_exact(self):
+                    with self._lock:
+                        return self._hits
+        """)
+        assert report.active == [], [v.format() for v in report.active]
+        [waived] = report.waived
+        assert waived.subject == "_hits"
+        assert "stats-only" in waived.waived

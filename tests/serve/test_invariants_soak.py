@@ -12,6 +12,12 @@ assert on *every* run the invariants the tracer makes checkable:
   spans;
 - utilization is within [0, 1].
 
+Every replay additionally runs under the strict runtime lock-order
+sanitizer (the ``lock_sanitizer`` fixture): the runtime's locks are
+swapped for instrumented wrappers that assert the statically derived
+acquisition order — serve locks are leaf-level, so any nesting at all
+fails the test at teardown.
+
 The regression classes at the bottom pin the concrete accounting and
 concurrency bugs the harness was built to expose; each fails on the
 pre-fix runtime.
@@ -24,6 +30,7 @@ import time
 
 import pytest
 
+from repro.analysis.concurrency import instrument_runtime
 from repro.serve import (
     DISPATCH_OVERHEAD_CYCLES,
     FAILED,
@@ -78,7 +85,8 @@ SCENARIOS = {
 
 class TestSoakScenarios:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
-    def test_invariants_hold(self, name, small_artifact, digits_small):
+    def test_invariants_hold(self, name, small_artifact, digits_small,
+                             lock_sanitizer):
         scenario = SCENARIOS[name]
         rate = scenario["factor"] * _capacity_rps(
             small_artifact, scenario["config"]["n_devices"]
@@ -91,12 +99,14 @@ class TestSoakScenarios:
         config = dict(max_queue_depth=256)
         config.update(scenario["config"])
         runtime = ServeRuntime(small_artifact, ServeConfig(**config))
+        instrument_runtime(runtime, lock_sanitizer)
         report = runtime.replay(trace)
         assert report.offered == 120
         _assert_invariants(report)
 
     def test_multi_producer_overload_invariants(self, small_artifact,
-                                                digits_small):
+                                                digits_small,
+                                                lock_sanitizer):
         """Concurrent producers + faults + deadlines, unpaced flood."""
         trace = synthetic_trace(
             160, 4.0 * _capacity_rps(small_artifact, 2), 64, seed=29,
@@ -110,6 +120,7 @@ class TestSoakScenarios:
                 fault_plan=FaultPlan(brownout_rate=0.2, seed=31),
             ),
         )
+        instrument_runtime(runtime, lock_sanitizer)
         n_producers = 4
         with runtime:
             threads = [
