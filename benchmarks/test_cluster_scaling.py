@@ -1,0 +1,132 @@
+"""Cluster scaling benchmark: goodput vs fleet count, per router policy.
+
+Sweeps ``repro.cluster`` over a grid of fleet counts and router
+policies at 10x a single fleet's offered capacity — the overload regime
+where the serve-level benchmark saturates — and asserts the scaling
+contract from ISSUE 7: with the offered rate held constant, goodput
+grows monotonically with fleet count for every router policy, because
+each added fleet converts shed requests into completions.  A final run
+fires a zero-downtime rolling deploy mid-replay and records its event
+timeline.  Every cell is invariant-checked (conservation, zero lost
+requests, span stamping) inside ``run_cluster_once`` before it produces
+numbers.
+
+The sweep summary and every row land in
+``benchmarks/results/cluster_scaling.json`` (CI uploads it as an
+artifact).
+
+Reduced configuration: set ``REPRO_CLUSTER_BENCH_REQUESTS`` (for
+example to 200, as the CI smoke job does) to shrink the traces; the
+default is 400 requests per cell.
+"""
+
+import json
+import os
+
+from _output import RESULTS_DIR, emit
+from repro.cluster import (
+    SLOPolicy,
+    fleet_capacity_rps,
+    format_scaling,
+    run_cluster_once,
+    run_cluster_scaling,
+)
+from repro.core.neuroc import NeuroCConfig, train_neuroc
+from repro.datasets import load
+from repro.serve import ModelRegistry
+
+N_REQUESTS = int(os.environ.get("REPRO_CLUSTER_BENCH_REQUESTS", "400"))
+FLEET_COUNTS = (1, 2, 4)
+POLICIES = ("hash", "least-queue-wait")
+LOAD_FACTOR = 10.0
+DEVICES_PER_FLEET = 4
+
+
+def _artifacts():
+    dataset = load("digits_like", n_train=600, n_test=200, seed=3)
+    registry = ModelRegistry()
+
+    def train(seed):
+        config = NeuroCConfig(
+            n_in=64, n_out=10, hidden=(16,), threshold=0.85,
+            name="cluster-bench", seed=seed,
+        )
+        trained = train_neuroc(config, dataset, epochs=10, lr=0.01)
+        return registry.register(trained.quantized)
+
+    return train(0), train(1), dataset
+
+
+def test_cluster_scaling_goodput_monotone_and_deploy():
+    base, target, dataset = _artifacts()
+
+    result = run_cluster_scaling(
+        base,
+        fleet_counts=FLEET_COUNTS,
+        policies=POLICIES,
+        requests=N_REQUESTS,
+        load_factor=LOAD_FACTOR,
+        devices_per_fleet=DEVICES_PER_FLEET,
+        seed=23,
+        inputs=dataset.x_test,
+    )
+
+    # The scaling contract: at fixed 10x overload, goodput is monotone
+    # in fleet count for every policy in the sweep.
+    by_policy = {}
+    for row in result["rows"]:
+        by_policy.setdefault(row["router_policy"], []).append(row)
+    assert set(by_policy) == set(POLICIES)
+    for policy, rows in by_policy.items():
+        rows.sort(key=lambda r: r["n_fleets"])
+        assert [r["n_fleets"] for r in rows] == list(FLEET_COUNTS)
+        goodputs = [r["goodput_rps"] for r in rows]
+        for smaller, larger in zip(goodputs, goodputs[1:]):
+            assert larger > smaller, (
+                f"{policy}: goodput not monotone in fleet count: "
+                f"{goodputs}"
+            )
+        # Overload really is overload: the single fleet sheds hard.
+        assert rows[0]["rejected"] > 0
+        for row in rows:
+            assert row["latency_p50_ms"] <= row["latency_p95_ms"] \
+                <= row["latency_p99_ms"]
+
+    # One more cell with a rolling deploy mid-replay: moderate load so
+    # the SLO probe sees live traffic, and the cutover must complete
+    # without a rollback or a single lost request.
+    capacity = fleet_capacity_rps(base, DEVICES_PER_FLEET)
+    deploy_row = run_cluster_once(
+        base,
+        n_fleets=2,
+        policy="least-queue-wait",
+        requests=max(200, N_REQUESTS // 2),
+        rate_rps=2.0 * capacity,
+        devices_per_fleet=DEVICES_PER_FLEET,
+        seed=29,
+        inputs=dataset.x_test,
+        deploy_artifact=target,
+        deploy_at_ms=4.0,
+        slo=SLOPolicy(min_probe_completed=5, probe_ms=200.0,
+                      max_cycles_ratio=2.0),
+        tick_ms=2.0,
+    )
+    kinds = [event["kind"] for event in deploy_row["deploy_events"]]
+    assert kinds.count("cutover") == 2
+    assert kinds[-1] == "complete"
+    assert "rollback" not in kinds
+    assert deploy_row["generations"] == 4     # blue + green per fleet
+
+    payload = dict(result)
+    payload["deploy"] = deploy_row
+    lines = [
+        format_scaling(result),
+        "",
+        f"rolling deploy (2 fleets @ 2.0x): events="
+        f"{' '.join(kinds)}  completed={deploy_row['completed']}  "
+        f"shed={deploy_row['rejected']}",
+    ]
+    emit("cluster_scaling", "\n".join(lines))
+    (RESULTS_DIR / "cluster_scaling.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )

@@ -28,6 +28,7 @@ from repro.analysis.concurrency.model import ALL_RULES, Violation
 from repro.analysis.concurrency.sanitizer import (
     LockOrderSanitizer,
     SanitizedLock,
+    instrument_cluster,
     instrument_runtime,
     sanitizer_for_report,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "analyze_paths",
     "collect_files",
     "extract_module",
+    "instrument_cluster",
     "instrument_runtime",
     "load_baseline",
     "sanitizer_for_report",

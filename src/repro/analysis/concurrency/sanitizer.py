@@ -280,3 +280,54 @@ def _wrap_metric_locks(registry, sanitizer, prefix) -> None:
                        ("histogram", "Histogram")):
         if name in originals:
             setattr(registry, name, shadow(name, kind))
+
+    # Rate views (created lazily too) carry their own leaf lock.
+    if hasattr(registry, "rate_view"):
+        original_rate_view = registry.rate_view
+
+        def wrapped_rate_view(*args, **kwargs):
+            view = original_rate_view(*args, **kwargs)
+            if hasattr(view, "_lock") and not isinstance(
+                view._lock, SanitizedLock
+            ):
+                view._lock = sanitizer.wrap(
+                    f"{prefix}.metrics.RateView._lock", view._lock
+                )
+            return view
+
+        registry.rate_view = wrapped_rate_view
+
+
+def instrument_cluster(cluster, sanitizer: LockOrderSanitizer) -> None:
+    """Swap a Cluster's control-plane locks for sanitized wrappers.
+
+    Must run before :meth:`Cluster.start`: fleet construction is
+    deferred to ``start()`` precisely so that the sanitizer attached
+    here reaches every fleet — each fleet wraps its condition variable
+    at birth and runs :func:`instrument_runtime` over every runtime
+    generation it ever builds, including green generations created by
+    rolling deploys and fleets added by the autoscaler mid-run.
+    """
+    if getattr(cluster, "_started", False):
+        raise RuntimeError(
+            "instrument_cluster must be called before Cluster.start()"
+        )
+    prefix = "repro.cluster"
+    cluster._sanitizer = sanitizer
+    cluster._lock = sanitizer.wrap(
+        f"{prefix}.cluster.Cluster._lock", cluster._lock
+    )
+    cluster._submit_lock = sanitizer.wrap(
+        f"{prefix}.cluster.Cluster._submit_lock", cluster._submit_lock
+    )
+    router = getattr(cluster, "router", None)
+    if router is not None and hasattr(router, "_lock"):
+        router._lock = sanitizer.wrap(
+            f"{prefix}.router.Router._lock", router._lock
+        )
+    registry = getattr(cluster, "registry", None)
+    if registry is not None and hasattr(registry, "_lock") and \
+            not isinstance(registry._lock, SanitizedLock):
+        registry._lock = sanitizer.wrap(
+            "repro.serve.registry.ModelRegistry._lock", registry._lock
+        )

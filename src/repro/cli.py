@@ -269,6 +269,50 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args) -> int:
+    """Sweep fleet counts x router policies under cluster overload."""
+    import json
+
+    from repro.cluster import format_scaling, run_cluster_scaling
+    from repro.deploy.serialization import load_quantized_model
+    from repro.serve import ModelRegistry
+
+    model = load_quantized_model(args.model)
+    registry = ModelRegistry()
+    artifact = registry.register(model, format_name=args.format)
+    print(f"model {artifact.model_id[:12]} on {artifact.board.name}: "
+          f"{artifact.deployment.latency_ms:.2f} ms/inference")
+
+    inputs = None
+    if args.dataset:
+        from repro.datasets import load
+
+        dataset = load(args.dataset)
+        if dataset.num_features != model.n_in:
+            raise ReproError(
+                f"model expects {model.n_in} features but {args.dataset} "
+                f"has {dataset.num_features}"
+            )
+        inputs = dataset.x_test
+    result = run_cluster_scaling(
+        artifact,
+        fleet_counts=args.fleets,
+        policies=args.policies,
+        requests=args.requests,
+        load_factor=args.load_factor,
+        devices_per_fleet=args.devices,
+        queue_depth=args.queue_depth,
+        seed=args.seed,
+        inputs=inputs,
+    )
+    print(format_scaling(result))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result, handle, indent=1)
+        print(f"wrote scaling JSON to {args.json_out}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Render the paper-vs-measured report, training in parallel."""
     import os
@@ -498,6 +542,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the plain-text span timeline of one "
                             "request id after the replay")
 
+    cluster = commands.add_parser(
+        "cluster-bench",
+        help="replay an open-loop trace at a multiple of single-fleet "
+             "capacity across a sweep of fleet counts and router "
+             "policies; verifies cluster invariants and reports "
+             "goodput/tail-latency scaling",
+    )
+    cluster.add_argument("--model", required=True)
+    cluster.add_argument("--format", default="block",
+                         choices=("csc", "delta", "mixed", "block"))
+    cluster.add_argument("--fleets", type=int, nargs="+",
+                         default=[1, 2, 4],
+                         help="fleet counts to sweep")
+    cluster.add_argument("--policies", nargs="+",
+                         default=["hash", "least-queue-wait"],
+                         choices=("hash", "least-queue-wait",
+                                  "deadline-p2c"),
+                         help="router policies to sweep")
+    cluster.add_argument("--devices", type=int, default=4,
+                         help="devices per fleet")
+    cluster.add_argument("--requests", type=int, default=400)
+    cluster.add_argument("--load-factor", type=float, default=10.0,
+                         help="offered load as a multiple of one "
+                              "fleet's ideal capacity (10-100x is the "
+                              "overload regime this bench targets)")
+    cluster.add_argument("--queue-depth", type=int, default=64)
+    cluster.add_argument("--dataset", default=None,
+                         help="draw request inputs from this dataset's "
+                              "test split instead of random vectors")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--json-out", default=None,
+                         help="write the scaling sweep JSON here "
+                              "(the cluster_scaling.json schema)")
+
     lint = commands.add_parser(
         "lint-concurrency",
         help="static concurrency analysis: guarded-by inference, "
@@ -530,6 +608,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "verify": _cmd_verify,
     "serve-bench": _cmd_serve_bench,
+    "cluster-bench": _cmd_cluster_bench,
     "lint-concurrency": _cmd_lint_concurrency,
 }
 

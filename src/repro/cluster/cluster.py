@@ -1,0 +1,490 @@
+"""The cluster: N fleets behind a router, scaled and deployed live.
+
+:class:`Cluster` composes the whole tentpole: a set of
+:class:`~repro.cluster.fleet.Fleet` shards (each its own
+:class:`~repro.serve.runtime.ServeRuntime` with its own device pool), a
+:class:`~repro.cluster.router.Router` choosing a shard per request, an
+optional :class:`~repro.cluster.autoscaler.Autoscaler` adding/removing
+shards from live windowed signals, and at most one active
+:class:`~repro.cluster.deploy.Deployer` rolling a new model version
+across shards with zero lost requests.
+
+Control plane vs data plane:
+
+* the **data plane** (:meth:`submit`) may be called from many producer
+  threads; it routes, offers to the chosen fleet, and — when a fleet
+  quiesced between routing and offering — re-routes, so a submit never
+  silently vanishes.  Every submitted request id is recorded, which is
+  what lets :func:`~repro.cluster.invariants.verify_cluster_invariants`
+  prove none were lost.
+* the **control plane** (:meth:`tick`) runs on one thread (the caller's
+  replay loop or the soak driver's main thread) on the *simulated*
+  clock: sample fleet signals, advance any rolling deploy, then let the
+  autoscaler act.  Deploys freeze the autoscaler — resizing the fleet
+  set mid-rollout would make "which fleets run the new model" moot.
+
+Lock discipline: ``_lock`` guards fleet membership, ``_submit_lock``
+guards the submitted-id ledger; both are leaf-level (never held across
+fleet or runtime calls), as are the router's and fleets' locks — the
+strict :class:`~repro.analysis.concurrency.LockOrderSanitizer` verifies
+zero lock nesting across the entire cluster in the soak harness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.autoscaler import (
+    SCALE_UP,
+    Autoscaler,
+    AutoscalerConfig,
+)
+from repro.cluster.deploy import DONE, Deployer, DeployEvent, SLOPolicy
+from repro.cluster.fleet import ACTIVE, DRAINING, Fleet, FleetSignals
+from repro.cluster.router import ROUTER_POLICIES, Router
+from repro.errors import ConfigurationError, ServeError
+from repro.serve.registry import ModelArtifact
+from repro.serve.request import COMPLETED, InferenceRequest
+from repro.serve.runtime import ServeConfig, ServeReport
+from repro.serve.tracing import merged_chrome_trace
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the cluster and its control loop."""
+
+    n_fleets: int = 2
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    router_policy: str = "hash"
+    router_seed: int = 0
+    autoscaler: AutoscalerConfig | None = None   # None: fixed size
+    #: Control-loop period on the simulated clock.
+    tick_ms: float = 50.0
+    #: Window for the fleets' rate/utilization signals.
+    signal_window_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.n_fleets < 1:
+            raise ConfigurationError("n_fleets must be >= 1")
+        if self.router_policy not in ROUTER_POLICIES:
+            raise ConfigurationError(
+                f"unknown router policy {self.router_policy!r}; "
+                f"known: {ROUTER_POLICIES}"
+            )
+        if self.tick_ms <= 0 or self.signal_window_ms <= 0:
+            raise ConfigurationError(
+                "tick_ms and signal_window_ms must be > 0"
+            )
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """One retired generation's terminal serve report, cluster-labelled."""
+
+    fleet: str
+    generation: int
+    model_id: str
+    report: ServeReport
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Terminal accounting of one cluster run, across every generation."""
+
+    submitted: int                 # unique requests offered via submit()
+    offered: int                   # sum of per-generation offered
+    completed: int
+    rejected: int
+    failed: int
+    makespan_ms: float
+    goodput_rps: float             # completed per simulated second
+    latency_ms: dict[str, float]   # exact percentiles, merged outcomes
+    generations: tuple[GenerationReport, ...]
+    deploy_events: tuple[DeployEvent, ...] = ()
+    scale_decisions: tuple[Any, ...] = ()
+    router_policy: str = "hash"
+
+    @property
+    def conserved(self) -> bool:
+        return self.completed + self.rejected + self.failed == self.offered
+
+    def format(self) -> str:
+        lines = [
+            f"cluster: {len({g.fleet for g in self.generations})} "
+            f"fleet(s), {len(self.generations)} generation(s), "
+            f"router={self.router_policy}",
+            f"requests: submitted {self.submitted}  "
+            f"offered {self.offered}  completed {self.completed}  "
+            f"rejected {self.rejected}  failed {self.failed}",
+            f"goodput {self.goodput_rps:.1f} req/sim-s over "
+            f"{self.makespan_ms:.1f} sim-ms",
+            f"latency sim-ms  p50 {self.latency_ms['p50']:.2f}  "
+            f"p95 {self.latency_ms['p95']:.2f}  "
+            f"p99 {self.latency_ms['p99']:.2f}",
+        ]
+        for event in self.deploy_events:
+            lines.append(
+                f"deploy @{event.time_ms:.0f}ms {event.kind} "
+                f"{event.fleet or '-'} {event.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _exact_latency_summary(latencies: list[float]) -> dict[str, float]:
+    """Exact percentile summary over merged completion latencies.
+
+    Per-generation summaries cannot be merged (quantiles do not
+    compose), so the cluster recomputes from every completed outcome.
+    """
+    if not latencies:
+        return {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+    ordered = sorted(latencies)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(n - 1, int(round(q * (n - 1))))]
+
+    return {
+        "count": float(n),
+        "mean": sum(ordered) / n,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99),
+    }
+
+
+class Cluster:
+    """N fleets, one router, a control loop, and rolling deploys."""
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        config: ClusterConfig | None = None,
+        *,
+        registry=None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.registry = registry
+        self.router = Router(
+            self.config.router_policy, seed=self.config.router_seed
+        )
+        self.autoscaler = (
+            Autoscaler(self.config.autoscaler)
+            if self.config.autoscaler is not None else None
+        )
+        self._artifact = artifact      # model new fleets flash
+        self._lock = threading.Lock()
+        self._fleets: list[Fleet] = []          # guarded_by: _lock
+        self._retired_fleets: list[Fleet] = []  # guarded_by: _lock
+        self._next_fleet_id = 0                 # guarded_by: _lock
+        self._submit_lock = threading.Lock()
+        self._submitted_ids: list[int] = []     # guarded_by: _submit_lock
+        self._deployer: Deployer | None = None  # control thread only
+        self._deploy_history: list[Deployer] = []
+        self._pending_deploys: list[
+            tuple[float, ModelArtifact, SLOPolicy | None]
+        ] = []                                   # control thread only
+        self._last_tick_ms = 0.0                 # control thread only
+        self._sanitizer = None       # set by instrument_cluster pre-start
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Build and start the initial fleets.
+
+        Deferred out of ``__init__`` so a sanitizer can be attached
+        first (``instrument_cluster``) and every lock in every fleet is
+        wrapped from birth.
+        """
+        if self._started:
+            raise ServeError("cluster already started")
+        self._started = True
+        for _ in range(self.config.n_fleets):
+            self._add_fleet()
+
+    def __enter__(self) -> "Cluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    def _add_fleet(self) -> Fleet:
+        with self._lock:
+            fleet_id = self._next_fleet_id
+            self._next_fleet_id += 1
+        fleet = Fleet(
+            fleet_id,
+            self._artifact,
+            self.config.serve,
+            registry=self.registry,
+            sanitizer=self._sanitizer,
+            signal_window_ms=self.config.signal_window_ms,
+        )
+        with self._lock:
+            self._fleets.append(fleet)
+        return fleet
+
+    def _remove_fleet(self, fleet: Fleet) -> None:
+        """Scale-down: stop routing to the fleet, then drain it."""
+        fleet.state = DRAINING       # router skips it from here on
+        fleet.shutdown()             # quiesce + drain backlog, outside locks
+        with self._lock:
+            self._fleets.remove(fleet)
+            self._retired_fleets.append(fleet)
+
+    def drain(self) -> None:
+        """Finish any rolling deploy, then retire every fleet."""
+        self._finish_deploys()
+        while True:
+            with self._lock:
+                fleet = self._fleets[0] if self._fleets else None
+            if fleet is None:
+                break
+            self._remove_fleet(fleet)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def fleets(self) -> list[Fleet]:
+        """Live fleet membership (racy snapshot; fine for routing)."""
+        with self._lock:
+            return list(self._fleets)
+
+    @property
+    def n_fleets(self) -> int:
+        with self._lock:
+            return len(self._fleets)
+
+    def clock_ms(self) -> float:
+        """Furthest simulated time any live fleet has reached."""
+        return max((f.clock_ms() for f in self.fleets), default=0.0)
+
+    @property
+    def control_ms(self) -> float:
+        """Simulated time of the latest control tick (racy read).
+
+        External paced producers gate on this rather than the device
+        clock: devices can burn through a whole backlog between two
+        wall-clock slices of the control thread, but control time only
+        advances tick by tick, so pacing against it keeps traffic
+        flowing *while* the control loop (deploy probes, autoscaler)
+        observes it.
+        """
+        return self._last_tick_ms
+
+    def signals(self) -> list[FleetSignals]:
+        return [f.signals() for f in self.fleets]
+
+    # -- data plane ------------------------------------------------------
+
+    def submit(self, request: InferenceRequest) -> bool:
+        """Route and offer one request; True admitted, False shed.
+
+        A fleet that quiesced between routing and offering returns
+        ``None`` from :meth:`Fleet.submit`; the request was not offered
+        anywhere yet, so we simply route again.  With at least one
+        ACTIVE fleet this terminates: a fleet only refuses while its
+        generation pointer is None, which for ACTIVE fleets is the
+        instants around a cutover swap.
+        """
+        if not self._started:
+            raise ServeError("cluster not started; call start()")
+        while True:
+            fleet = self.router.route(request, self.fleets)
+            verdict = fleet.submit(request)
+            if verdict is not None:
+                with self._submit_lock:
+                    self._submitted_ids.append(request.request_id)
+                return verdict
+            time.sleep(0.0005)       # cutover in progress; re-route
+
+    # -- control plane (single control thread) ---------------------------
+
+    def tick(self, now_ms: float) -> None:
+        """One control-loop step at simulated time ``now_ms``."""
+        self._last_tick_ms = max(self._last_tick_ms, now_ms)
+        fleets = self.fleets
+        for fleet in fleets:
+            fleet.sample(now_ms)
+        self._maybe_start_deploy(now_ms)
+        if self._deployer is not None and self._deployer.active:
+            self._deployer.tick(now_ms)
+            if not self._deployer.active and self._deployer.state == DONE:
+                # Promotion: future fleets (scale-ups) flash the target.
+                self._artifact = self._deployer.target
+            return                   # autoscaler frozen during deploys
+        if self.autoscaler is None:
+            return
+        decision = self.autoscaler.decide(now_ms, self.signals())
+        if decision is None:
+            return
+        if decision.action == SCALE_UP:
+            self._add_fleet()
+        else:
+            victim = max(
+                (f for f in fleets if f.state == ACTIVE),
+                key=lambda f: f.fleet_id,
+                default=None,
+            )
+            if victim is not None and self.n_fleets > 1:
+                self._remove_fleet(victim)
+
+    def schedule_deploy(
+        self,
+        artifact: ModelArtifact,
+        at_ms: float,
+        slo: SLOPolicy | None = None,
+    ) -> None:
+        """Queue a rolling deploy to fire at simulated time ``at_ms``."""
+        self._pending_deploys.append((at_ms, artifact, slo))
+        self._pending_deploys.sort(key=lambda entry: entry[0])
+
+    def _maybe_start_deploy(self, now_ms: float) -> None:
+        if self._deployer is not None and self._deployer.active:
+            return
+        if not self._pending_deploys:
+            return
+        at_ms, artifact, slo = self._pending_deploys[0]
+        if now_ms < at_ms:
+            return
+        self._pending_deploys.pop(0)
+        self._deployer = Deployer(self.fleets, artifact, slo=slo)
+        self._deploy_history.append(self._deployer)
+
+    def _finish_deploys(self) -> None:
+        """Drive any in-flight/pending deploy to a terminal state."""
+        guard = 10_000
+        while guard > 0 and (
+            self._pending_deploys
+            or (self._deployer is not None and self._deployer.active)
+        ):
+            guard -= 1
+            self._last_tick_ms += self.config.tick_ms
+            self.tick(max(self._last_tick_ms, self.clock_ms()))
+            # Give worker threads wall-clock time to serve any probe
+            # backlog; simulated time advances tick-by-tick regardless,
+            # so a genuinely goodput-free probe still times out.
+            time.sleep(0.0005)
+        if guard == 0:
+            raise ServeError("deploy failed to converge during drain")
+
+    # -- replay ----------------------------------------------------------
+
+    def replay(
+        self, trace: list[InferenceRequest], pace: bool = True
+    ) -> ClusterReport:
+        """Drive an open-loop trace through the cluster, then drain.
+
+        Single-threaded and deterministic: requests are routed in
+        arrival order, the control loop ticks whenever the trace clock
+        crosses a tick boundary, and (with ``pace=True``) submission
+        waits for the routed fleet's backlog to clear up to each
+        request's arrival time, approximating open-loop arrivals on the
+        simulated clock.
+        """
+        next_tick = self.config.tick_ms
+        for request in trace:
+            while request.arrival_ms >= next_tick:
+                self.tick(next_tick)
+                next_tick += self.config.tick_ms
+            if pace:
+                deadline = time.monotonic() + 30.0
+                while True:
+                    fleet = self.router.route(request, self.fleets)
+                    if (
+                        fleet.queue_depth() == 0
+                        or fleet.clock_ms() >= request.arrival_ms
+                    ):
+                        break
+                    if time.monotonic() > deadline:
+                        raise ServeError(
+                            "paced replay stalled waiting for fleet "
+                            f"{fleet.name}"
+                        )
+                    time.sleep(0.0002)
+            self.submit(request)
+        self.drain()
+        return self.report()
+
+    # -- reporting -------------------------------------------------------
+
+    def _all_fleets(self) -> list[Fleet]:
+        with self._lock:
+            return list(self._fleets) + list(self._retired_fleets)
+
+    def generation_reports(self) -> list[GenerationReport]:
+        reports = []
+        for fleet in self._all_fleets():
+            for index, model_id, report in fleet.generation_reports():
+                reports.append(GenerationReport(
+                    fleet=fleet.name, generation=index,
+                    model_id=model_id, report=report,
+                ))
+        return reports
+
+    @property
+    def submitted_ids(self) -> list[int]:
+        with self._submit_lock:
+            return list(self._submitted_ids)
+
+    def deploy_events(self) -> list[DeployEvent]:
+        return [
+            event
+            for deployer in self._deploy_history
+            for event in deployer.events
+        ]
+
+    def report(self) -> ClusterReport:
+        """Terminal cluster accounting; call after :meth:`drain`."""
+        generations = tuple(self.generation_reports())
+        offered = sum(g.report.offered for g in generations)
+        completed = sum(g.report.completed for g in generations)
+        rejected = sum(g.report.rejected for g in generations)
+        failed = sum(g.report.failed for g in generations)
+        makespan = max(
+            (g.report.makespan_ms for g in generations), default=0.0
+        )
+        latencies = [
+            outcome.latency_ms
+            for g in generations
+            for outcome in g.report.outcomes
+            if outcome.status == COMPLETED
+        ]
+        return ClusterReport(
+            submitted=len(self.submitted_ids),
+            offered=offered,
+            completed=completed,
+            rejected=rejected,
+            failed=failed,
+            makespan_ms=makespan,
+            goodput_rps=(
+                completed / (makespan / 1e3) if makespan > 0 else 0.0
+            ),
+            latency_ms=_exact_latency_summary(latencies),
+            generations=generations,
+            deploy_events=tuple(self.deploy_events()),
+            scale_decisions=tuple(
+                self.autoscaler.decisions
+                if self.autoscaler is not None else ()
+            ),
+            router_policy=self.config.router_policy,
+        )
+
+    def chrome_trace(
+        self, labels: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Merged Chrome trace: one process per generation's collector."""
+        collectors = [
+            g.report.trace
+            for g in self.generation_reports()
+            if g.report.trace is not None
+        ]
+        return merged_chrome_trace(collectors, labels)

@@ -1,0 +1,333 @@
+"""One fleet of the cluster: a chain of runtime generations.
+
+A :class:`Fleet` is one shard of the cluster — a
+:class:`~repro.serve.runtime.ServeRuntime` (device pool + queue +
+workers) behind a stable identity (``fleet-0``).  The runtime itself is
+replaceable: a blue/green deploy swaps in a freshly warmed *generation*
+while the old one quiesces and drains, so the fleet's identity (and its
+place in the router's hash ring) outlives any single model version.
+
+Zero-downtime cutover protocol (:meth:`begin_generation`):
+
+1. build + start the green runtime (replicas flashed from the registry
+   artifact, translations already warm — no producer ever waits on
+   codegen);
+2. atomically swap the fleet's generation pointer — new submits land on
+   green;
+3. quiesce: wait until every :meth:`submit` that grabbed the blue
+   pointer before the swap has finished offering (an in-flight counter
+   per generation, condition-variable signalled);
+4. the caller then drains blue (:meth:`retire_generation`): its queued
+   backlog is served to completion, workers join, and the terminal
+   report is archived on the fleet.
+
+No window exists in which a request can be submitted to a closed queue,
+so a rolling deploy sheds nothing and loses nothing — the cluster
+invariants assert exactly that.
+
+Concurrency: ``submit()`` may race from many producer threads; the
+generation pointer and in-flight counters are guarded by the fleet's
+condition variable, which is held only around pointer/counter flips —
+never across runtime calls — so every fleet lock stays leaf-level.
+Control-plane methods (``begin_generation``, ``retire_generation``,
+``shutdown``, ``sample``, ``signals``) are called from the cluster's
+single control thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+from repro.serve.registry import ModelArtifact
+from repro.serve.request import InferenceRequest
+from repro.serve.runtime import ServeConfig, ServeReport, ServeRuntime
+
+#: Fleet lifecycle states.  ``state`` is written only by the control
+#: thread; routers read it racily, which is benign — a stale ACTIVE
+#: read targets a fleet whose quiescence barrier still accounts the
+#: request correctly.
+ACTIVE = "active"
+DRAINING = "draining"
+RETIRED = "retired"
+FLEET_STATES = (ACTIVE, DRAINING, RETIRED)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetSignals:
+    """One control-tick reading of a fleet's live, measured signals.
+
+    These are the autoscaler's and router's inputs: windowed rates from
+    :class:`~repro.serve.metrics.RateView` samples, utilization from
+    busy-time deltas, and the queue-wait estimate the deadline-aware
+    router scores fleets by.  All *measured* on-fleet quantities, not
+    proxies.
+    """
+
+    fleet: str
+    state: str
+    offered_per_s: float
+    shed_per_s: float
+    shed_fraction: float          # windowed shed rate / offered rate
+    utilization: float            # windowed busy fraction across devices
+    queue_depth: int
+    est_queue_wait_ms: float      # depth x service time / devices
+
+
+class FleetGeneration:
+    """One runtime generation (blue or green) of a fleet.
+
+    Signal state (busy-time window) is touched only by the control
+    thread; ``inflight`` is guarded by the owning fleet's condition
+    variable.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        artifact: ModelArtifact,
+        runtime: ServeRuntime,
+        window_ms: float,
+    ) -> None:
+        self.index = index
+        self.artifact = artifact
+        self.runtime = runtime
+        self.inflight = 0            # guarded by the fleet's _cv
+        self.offered_rate = runtime.metrics.rate_view(
+            "requests.offered", window_ms
+        )
+        self.rejected_rate = runtime.metrics.rate_view(
+            "requests.rejected", window_ms
+        )
+        self.completed_rate = runtime.metrics.rate_view(
+            "requests.completed", window_ms
+        )
+        self._window_ms = window_ms
+        self._busy_samples: list[tuple[float, float]] = []  # control thread
+        #: Per-request service estimate for queue-wait scoring.
+        self.service_ms = artifact.deployment.latency_ms
+
+    def sample(self, now_ms: float) -> None:
+        """Advance every windowed signal to simulated time ``now_ms``."""
+        self.offered_rate.sample(now_ms)
+        self.rejected_rate.sample(now_ms)
+        self.completed_rate.sample(now_ms)
+        # Racy float reads of per-device busy clocks are fine here: the
+        # signal feeds scaling heuristics, never accounting.
+        busy = sum(d.busy_ms for d in self.runtime.devices)
+        samples = self._busy_samples
+        samples.append((now_ms, busy))
+        cutoff = now_ms - self._window_ms
+        while len(samples) > 2 and samples[1][0] <= cutoff:
+            samples.pop(0)
+
+    def utilization(self) -> float:
+        """Windowed busy fraction across this generation's devices."""
+        samples = self._busy_samples
+        if len(samples) < 2:
+            return 0.0
+        (t0, b0), (t1, b1) = samples[0], samples[-1]
+        if t1 <= t0:
+            return 0.0
+        n = len(self.runtime.devices)
+        return min(1.0, (b1 - b0) / ((t1 - t0) * n))
+
+    def queue_depth(self) -> int:
+        return self.runtime.queue.depth
+
+    def est_queue_wait_ms(self) -> float:
+        """Backlog-based wait estimate: depth x service / devices."""
+        n = max(1, len(self.runtime.devices))
+        return self.queue_depth() * self.service_ms / n
+
+    def clock_ms(self) -> float:
+        """How far this generation has simulated (furthest device)."""
+        return max(
+            (d.clock_ms for d in self.runtime.devices), default=0.0
+        )
+
+
+class Fleet:
+    """One sharded fleet: generations of a serve runtime behind one id."""
+
+    def __init__(
+        self,
+        fleet_id: int,
+        artifact: ModelArtifact,
+        config: ServeConfig,
+        *,
+        registry=None,
+        sanitizer=None,
+        signal_window_ms: float = 250.0,
+    ) -> None:
+        self.fleet_id = fleet_id
+        self.name = f"fleet-{fleet_id}"
+        self.config = config
+        self.signal_window_ms = signal_window_ms
+        self.state = ACTIVE          # control-thread writes, racy reads ok
+        self._registry = registry
+        self._sanitizer = sanitizer
+        if sanitizer is not None:
+            self._cv = sanitizer.condition(
+                "repro.cluster.fleet.Fleet._cv"
+            )
+        else:
+            self._cv = threading.Condition()
+        self._gen: FleetGeneration | None = None  # guarded_by: _cv
+        self._gen_count = 0          # control thread only
+        self._retired: list[tuple[int, str, ServeReport]] = []  # guarded_by: _cv
+        self._gen = self._build_generation(artifact)
+
+    # -- generation lifecycle (control thread) ---------------------------
+
+    def _build_generation(self, artifact: ModelArtifact) -> FleetGeneration:
+        index = self._gen_count
+        self._gen_count += 1
+        namespace = (
+            self.name if index == 0 else f"{self.name}.g{index}"
+        )
+        config = dataclasses.replace(
+            self.config, trace_namespace=namespace
+        )
+        runtime = ServeRuntime(artifact, config)
+        if self._sanitizer is not None:
+            from repro.analysis.concurrency import instrument_runtime
+
+            instrument_runtime(runtime, self._sanitizer)
+        if self._registry is not None:
+            self._registry.acquire(artifact.model_id)
+        runtime.start()
+        return FleetGeneration(
+            index, artifact, runtime, self.signal_window_ms
+        )
+
+    def begin_generation(
+        self, artifact: ModelArtifact
+    ) -> FleetGeneration | None:
+        """Cut over to a warm runtime for ``artifact``; return the old.
+
+        Swaps atomically (new submits land on the new generation), then
+        waits for in-flight submits against the old pointer to finish.
+        The caller owns draining the returned generation via
+        :meth:`retire_generation`.
+        """
+        new = self._build_generation(artifact)
+        with self._cv:
+            old = self._gen
+            self._gen = new
+            while old is not None and old.inflight > 0:
+                self._cv.wait(0.05)
+        return old
+
+    def retire_generation(self, gen: FleetGeneration) -> ServeReport:
+        """Drain a swapped-out generation; archive and return its report."""
+        gen.runtime.drain()
+        report = gen.runtime.report()
+        with self._cv:
+            self._retired.append(
+                (gen.index, gen.artifact.model_id, report)
+            )
+        if self._registry is not None:
+            self._registry.release(gen.artifact.model_id)
+        return report
+
+    def shutdown(self) -> None:
+        """Retire the live generation (scale-down / cluster drain)."""
+        with self._cv:
+            old = self._gen
+            self._gen = None
+            while old is not None and old.inflight > 0:
+                self._cv.wait(0.05)
+        if old is not None:
+            self.retire_generation(old)
+        self.state = RETIRED
+
+    # -- data plane (any producer thread) --------------------------------
+
+    def submit(self, request: InferenceRequest) -> bool | None:
+        """Offer one request to the live generation.
+
+        Returns the runtime's admission verdict (``True`` admitted,
+        ``False`` shed at the door), or ``None`` when the fleet has no
+        live generation — the request was *not* offered anywhere and the
+        cluster re-routes it.
+        """
+        with self._cv:
+            gen = self._gen
+            if gen is None:
+                return None
+            gen.inflight += 1
+        try:
+            return gen.runtime.submit(request)
+        finally:
+            with self._cv:
+                gen.inflight -= 1
+                if gen.inflight == 0:
+                    self._cv.notify_all()
+
+    # -- signals (control thread; racy reads from routers are benign) ----
+
+    def _current(self) -> FleetGeneration | None:
+        with self._cv:
+            return self._gen
+
+    @property
+    def generation(self) -> int | None:
+        """Index of the live generation (None once shut down)."""
+        gen = self._current()
+        return gen.index if gen is not None else None
+
+    @property
+    def model_id(self) -> str | None:
+        gen = self._current()
+        return gen.artifact.model_id if gen is not None else None
+
+    def sample(self, now_ms: float) -> None:
+        gen = self._current()
+        if gen is not None:
+            gen.sample(now_ms)
+
+    def signals(self) -> FleetSignals:
+        gen = self._current()
+        if gen is None:
+            return FleetSignals(
+                fleet=self.name, state=self.state, offered_per_s=0.0,
+                shed_per_s=0.0, shed_fraction=0.0, utilization=0.0,
+                queue_depth=0, est_queue_wait_ms=0.0,
+            )
+        offered = gen.offered_rate.rate_per_s()
+        shed = gen.rejected_rate.rate_per_s()
+        return FleetSignals(
+            fleet=self.name,
+            state=self.state,
+            offered_per_s=offered,
+            shed_per_s=shed,
+            shed_fraction=shed / offered if offered > 0.0 else 0.0,
+            utilization=gen.utilization(),
+            queue_depth=gen.queue_depth(),
+            est_queue_wait_ms=gen.est_queue_wait_ms(),
+        )
+
+    def est_queue_wait_ms(self) -> float:
+        """Live routing score: estimated wait for a new arrival."""
+        gen = self._current()
+        return gen.est_queue_wait_ms() if gen is not None else float("inf")
+
+    def queue_depth(self) -> int:
+        gen = self._current()
+        return gen.queue_depth() if gen is not None else 0
+
+    def clock_ms(self) -> float:
+        gen = self._current()
+        return gen.clock_ms() if gen is not None else 0.0
+
+    # -- reporting -------------------------------------------------------
+
+    def generation_reports(self) -> list[tuple[int, str, ServeReport]]:
+        """(generation, model_id, report) for every *retired* generation.
+
+        The live generation (if any) is not included — drain the fleet
+        first; the cluster's ``report()`` does.
+        """
+        with self._cv:
+            return list(self._retired)

@@ -534,6 +534,25 @@ def translation_cache_stats() -> dict[str, int]:
         return {"entries": len(_CACHE), **_STATS}
 
 
+def evict_translation(
+    program: Program,
+    memory: MemoryMap,
+    costs: CycleCosts | None = None,
+) -> bool:
+    """Drop one program's cache entry (translated or declined).
+
+    Used by ``ModelRegistry.release()`` when a retired artifact's
+    refcount reaches zero, so blue/green cutovers actually free the
+    compiled kernels of the model they replaced.  Returns ``True`` when
+    an entry was present.  A replica still holding the
+    ``TranslatedProgram`` keeps running (the object stays alive through
+    its own reference); only the shared cache forgets it.
+    """
+    key = _cache_key(program, costs or CycleCosts(), _layout_of(memory))
+    with _CACHE_LOCK:
+        return _CACHE.pop(key, None) is not None
+
+
 def clear_translation_cache() -> None:
     with _CACHE_LOCK:
         _CACHE.clear()

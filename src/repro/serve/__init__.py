@@ -16,6 +16,7 @@ from repro.serve.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RateView,
 )
 from repro.serve.pool import (
     DISPATCH_OVERHEAD_CYCLES,
@@ -47,6 +48,7 @@ from repro.serve.tracing import (
     TERMINAL_KINDS,
     Span,
     TraceCollector,
+    merged_chrome_trace,
     verify_trace_invariants,
 )
 
@@ -67,6 +69,7 @@ __all__ = [
     "ModelArtifact",
     "ModelRegistry",
     "REJECTED",
+    "RateView",
     "SCHEDULING_POLICIES",
     "SPAN_KINDS",
     "ServeConfig",
@@ -79,6 +82,7 @@ __all__ = [
     "TraceCollector",
     "build_pool",
     "content_hash",
+    "merged_chrome_trace",
     "synthetic_trace",
     "verify_trace_invariants",
 ]

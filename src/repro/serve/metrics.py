@@ -15,10 +15,16 @@ from __future__ import annotations
 
 import random
 import threading
+from collections import deque
 from typing import Any
+
+from repro.errors import ConfigurationError
 
 #: Default reservoir capacity; a 1k-request bench fits with headroom.
 RESERVOIR_SIZE = 65_536
+
+#: Default trailing window for :class:`RateView` (simulated ms).
+RATE_WINDOW_MS = 250.0
 
 
 class Counter:
@@ -60,6 +66,82 @@ class Gauge:
     def value(self) -> float:
         with self._lock:
             return self._value
+
+
+class RateView:
+    """Windowed + EWMA rate view over a :class:`Counter`.
+
+    Counters are cumulative; control loops (the cluster autoscaler's
+    shed-rate signal, the deployer's SLO probes) need *derivatives* on
+    the simulated clock.  A RateView is sampled at control ticks
+    (``sample(now_ms)``) and offers two readings: the exact rate over
+    the trailing ``window_ms`` and an EWMA of per-interval rates with
+    ``alpha`` weighting the newest interval.
+
+    Thread-safe: every reading is computed from one consistent
+    ``(time, value)`` sample pair taken under the view's lock, so a
+    reader racing the sampler can never observe a torn (negative or
+    time-inverted) rate.  A sample that does not advance time is
+    ignored, which makes concurrent ticks race benignly.
+    """
+
+    def __init__(
+        self,
+        counter: Counter,
+        window_ms: float = RATE_WINDOW_MS,
+        alpha: float = 0.3,
+    ) -> None:
+        if window_ms <= 0.0:
+            raise ConfigurationError("rate window must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("EWMA alpha must be in (0, 1]")
+        self._counter = counter
+        self.window_ms = float(window_ms)
+        self.alpha = float(alpha)
+        self._samples: deque[tuple[float, float]] = deque()  # guarded_by: _lock
+        self._ewma_per_s: float | None = None  # guarded_by: _lock
+        self._lock = threading.Lock()
+
+    def sample(self, now_ms: float) -> None:
+        """Record the counter's value at simulated time ``now_ms``."""
+        value = self._counter.value      # counter's own lock; not nested
+        with self._lock:
+            if self._samples and now_ms <= self._samples[-1][0]:
+                return
+            if self._samples:
+                last_ms, last_value = self._samples[-1]
+                instant = (value - last_value) / (now_ms - last_ms) * 1e3
+                self._ewma_per_s = (
+                    instant if self._ewma_per_s is None
+                    else self.alpha * instant
+                    + (1.0 - self.alpha) * self._ewma_per_s
+                )
+            self._samples.append((now_ms, float(value)))
+            # Keep one sample at/before the window start so the windowed
+            # rate spans at least window_ms once warmed up.
+            cutoff = now_ms - self.window_ms
+            while len(self._samples) > 2 and self._samples[1][0] <= cutoff:
+                self._samples.popleft()
+
+    def rate_per_s(self) -> float:
+        """Increments per second over the trailing window (0.0 cold)."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return 0.0
+            first_ms, first_value = self._samples[0]
+            last_ms, last_value = self._samples[-1]
+        return (last_value - first_value) / (last_ms - first_ms) * 1e3
+
+    @property
+    def ewma_per_s(self) -> float:
+        with self._lock:
+            return self._ewma_per_s if self._ewma_per_s is not None else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "windowed_per_s": self.rate_per_s(),
+            "ewma_per_s": self.ewma_per_s,
+        }
 
 
 class Histogram:
@@ -141,6 +223,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}  # guarded_by: _lock
         self._gauges: dict[str, Gauge] = {}  # guarded_by: _lock
         self._histograms: dict[str, Histogram] = {}  # guarded_by: _lock
+        self._rates: dict[str, RateView] = {}  # guarded_by: _lock
         self._labels: dict[str, str] = {}  # guarded_by: _lock
         self._lock = threading.Lock()
 
@@ -167,12 +250,30 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.setdefault(name, Histogram())
 
+    def rate_view(
+        self,
+        name: str,
+        window_ms: float = RATE_WINDOW_MS,
+        alpha: float = 0.3,
+    ) -> RateView:
+        """The (one) rate view over counter ``name``, created on first use.
+
+        The window/alpha of the first caller win; later callers share
+        the same view so every control loop reads one signal.
+        """
+        counter = self.counter(name)
+        with self._lock:
+            return self._rates.setdefault(
+                name, RateView(counter, window_ms, alpha)
+            )
+
     def snapshot(self) -> dict[str, Any]:
         """Everything, as plain JSON-serializable values."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            rates = dict(self._rates)
             labels = dict(self._labels)
         return {
             "counters": {k: c.value for k, c in sorted(counters.items())},
@@ -180,5 +281,6 @@ class MetricsRegistry:
             "histograms": {
                 k: h.summary() for k, h in sorted(histograms.items())
             },
+            "rates": {k: r.summary() for k, r in sorted(rates.items())},
             "labels": dict(sorted(labels.items())),
         }

@@ -96,10 +96,13 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._artifacts: dict[str, ModelArtifact] = {}  # guarded_by: _lock
+        self._refcounts: dict[str, int] = {}  # guarded_by: _lock
         self._lock = threading.Lock()
         #: Number of register() calls answered from cache (observable so
         #: tests and benchmarks can prove the no-re-codegen property).
         self.cache_hits = 0  # guarded_by: _lock
+        #: Artifacts evicted by release() reaching refcount zero.
+        self.evictions = 0  # guarded_by: _lock
 
     def register(
         self,
@@ -121,6 +124,9 @@ class ModelRegistry:
             cached = self._artifacts.get(model_id)
             if cached is not None:
                 self.cache_hits += 1
+                self._refcounts[model_id] = (
+                    self._refcounts.get(model_id, 0) + 1
+                )
                 return cached
         # Codegen + verification outside the lock: they are the expensive
         # part, and a duplicate race at worst builds twice and keeps one.
@@ -139,7 +145,9 @@ class ModelRegistry:
             block_size=block_size,
         )
         with self._lock:
-            return self._artifacts.setdefault(model_id, artifact)
+            kept = self._artifacts.setdefault(model_id, artifact)
+            self._refcounts[model_id] = self._refcounts.get(model_id, 0) + 1
+            return kept
 
     def get(self, model_id: str) -> ModelArtifact:
         with self._lock:
@@ -149,6 +157,57 @@ class ModelRegistry:
                 raise ConfigurationError(
                     f"no model registered under {model_id[:12]}..."
                 ) from None
+
+    # -- reference counting / eviction -----------------------------------
+
+    def acquire(self, model_id: str) -> ModelArtifact:
+        """Take one more reference on a registered artifact.
+
+        Every long-lived holder of an artifact (each cluster fleet
+        generation, the registering caller itself) owns one reference;
+        :meth:`release` drops it, and the last drop evicts.
+        """
+        with self._lock:
+            artifact = self._artifacts.get(model_id)
+            if artifact is None:
+                raise ConfigurationError(
+                    f"no model registered under {model_id[:12]}..."
+                )
+            self._refcounts[model_id] += 1
+            return artifact
+
+    def refcount(self, model_id: str) -> int:
+        """Live references on ``model_id`` (0 if absent/evicted)."""
+        with self._lock:
+            return self._refcounts.get(model_id, 0)
+
+    def release(self, model_id: str) -> bool:
+        """Drop one reference; evict the artifact at refcount zero.
+
+        Eviction forgets the deployment *and* its compiled-kernel cache
+        entries (the fastpath translations of every layer program), so a
+        blue/green cutover that retires a model really frees it.  The
+        content hash is stable, so re-registering the same model later
+        rebuilds a bit-identical artifact under the same id.  Returns
+        ``True`` when this call evicted.
+        """
+        with self._lock:
+            if model_id not in self._artifacts:
+                raise ConfigurationError(
+                    f"no model registered under {model_id[:12]}..."
+                )
+            count = self._refcounts[model_id] - 1
+            if count > 0:
+                self._refcounts[model_id] = count
+                return False
+            retired = self._artifacts.pop(model_id)
+            del self._refcounts[model_id]
+            self.evictions += 1
+        # Translation-cache eviction happens outside the registry lock:
+        # it takes the fastpath module's cache lock, and keeping the two
+        # disjoint keeps every serve-side lock leaf-level.
+        retired.deployed.evict_translations()
+        return True
 
     def __len__(self) -> int:
         with self._lock:

@@ -89,6 +89,9 @@ class ServeConfig:
     #: dropped spans rather than unbounded memory.
     tracing: bool = True
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    #: Track namespace stamped on every span (``"fleet-0"``), so multiple
+    #: runtimes tracing in one process export distinguishable tracks.
+    trace_namespace: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -162,7 +165,10 @@ class ServeRuntime:
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.tracer: TraceCollector | None = (
-            TraceCollector(self.config.trace_capacity)
+            TraceCollector(
+                self.config.trace_capacity,
+                namespace=self.config.trace_namespace,
+            )
             if self.config.tracing else None
         )
         injector = (

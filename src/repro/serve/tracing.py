@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import json
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -93,6 +93,10 @@ class Span:
     device_id: int | None = None       # None = queue track
     attempt: int = 0
     detail: str | None = None
+    #: Owning fleet (e.g. ``"fleet-0"``) when the collector belongs to a
+    #: cluster; stamped by the collector's namespace so multiple device
+    #: pools in one process keep distinguishable tracks.
+    fleet: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in SPAN_KINDS:
@@ -110,18 +114,31 @@ class Span:
 
 
 class TraceCollector:
-    """Bounded, thread-safe store of spans, indexed by request id."""
+    """Bounded, thread-safe store of spans, indexed by request id.
 
-    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+    ``namespace`` names the fleet this collector traces (e.g.
+    ``"fleet-0"``).  Every recorded span is stamped with it, and the
+    Chrome export prefixes track names (``fleet-0/device.2``) so two
+    pools exporting into one merged trace never collide.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        namespace: str | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ConfigurationError("trace capacity must be positive")
         self.capacity = capacity
+        self.namespace = namespace
         self._spans: list[Span] = []  # guarded_by: _lock
         self._dropped = 0  # guarded_by: _lock
         self._lock = threading.Lock()
 
     def record(self, span: Span) -> bool:
         """Store one span; ``False`` when the bounded buffer dropped it."""
+        if self.namespace is not None and span.fleet is None:
+            span = replace(span, fleet=self.namespace)
         with self._lock:
             if len(self._spans) >= self.capacity:
                 self._dropped += 1
@@ -191,16 +208,19 @@ class TraceCollector:
             )
         return "\n".join(lines)
 
-    def chrome_trace(
-        self, labels: dict[str, str] | None = None
-    ) -> dict[str, Any]:
-        """The trace in Chrome trace-event JSON (Perfetto-loadable).
+    def _track_name(self, device_id: int | None) -> str:
+        base = "queue" if device_id is None else f"device.{device_id}"
+        if self.namespace is None:
+            return base
+        return f"{self.namespace}/{base}"
 
-        One process (`repro.serve`), one track per device plus a
-        ``queue`` track (tid 0).  Intervals are complete (``"X"``)
-        events in microseconds; instants are thread-scoped ``"i"``
-        events.  Overlapping queue-track intervals (many requests queued
-        at once) render stacked, which is the intended reading.
+    def trace_events(self, pid: int = 0) -> list[dict[str, Any]]:
+        """This collector's Chrome trace events, under process ``pid``.
+
+        Track (thread) names carry the collector's namespace
+        (``fleet-0/device.2``), so events from several collectors can be
+        concatenated into one trace without colliding — each collector
+        gets its own pid (see :func:`merged_chrome_trace`).
         """
         spans = sorted(
             self.spans(), key=lambda s: (s.start_ms, s.end_ms)
@@ -210,18 +230,18 @@ class TraceCollector:
             {s.device_id for s in spans if s.device_id is not None}
         ):
             tids[device_id] = device_id + 1
+        process = (
+            "repro.serve" if self.namespace is None
+            else f"repro.serve/{self.namespace}"
+        )
         events: list[dict[str, Any]] = [
-            {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
-             "args": {"name": "repro.serve"}},
-            {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
-             "args": {"name": "queue"}},
+            {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+             "args": {"name": process}},
         ]
         for device_id, tid in tids.items():
-            if device_id is None:
-                continue
             events.append(
-                {"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
-                 "args": {"name": f"device.{device_id}"}}
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": self._track_name(device_id)}}
             )
         for span in spans:
             args: dict[str, Any] = {"attempt": span.attempt}
@@ -231,8 +251,10 @@ class TraceCollector:
                 args["detail"] = span.detail
             if span.terminal:
                 args["terminal"] = True
+            if span.fleet is not None:
+                args["fleet"] = span.fleet
             event: dict[str, Any] = {
-                "pid": 0,
+                "pid": pid,
                 "tid": tids[span.device_id],
                 "cat": "serve",
                 "name": span.kind,
@@ -246,8 +268,21 @@ class TraceCollector:
                 event["ph"] = "i"
                 event["s"] = "t"
             events.append(event)
+        return events
+
+    def chrome_trace(
+        self, labels: dict[str, str] | None = None
+    ) -> dict[str, Any]:
+        """The trace in Chrome trace-event JSON (Perfetto-loadable).
+
+        One process (`repro.serve`), one track per device plus a
+        ``queue`` track (tid 0).  Intervals are complete (``"X"``)
+        events in microseconds; instants are thread-scoped ``"i"``
+        events.  Overlapping queue-track intervals (many requests queued
+        at once) render stacked, which is the intended reading.
+        """
         trace: dict[str, Any] = {
-            "traceEvents": events,
+            "traceEvents": self.trace_events(),
             "displayTimeUnit": "ms",
         }
         if labels:
@@ -260,6 +295,28 @@ class TraceCollector:
         """Serialize :meth:`chrome_trace` to ``path`` as JSON."""
         with open(path, "w") as handle:
             json.dump(self.chrome_trace(labels), handle, indent=1)
+
+
+def merged_chrome_trace(
+    collectors, labels: dict[str, str] | None = None
+) -> dict[str, Any]:
+    """One Chrome trace over several collectors (e.g. a cluster's fleets).
+
+    Each collector becomes its own process (pid = position in
+    ``collectors``), so ``fleet-0/device.2`` and ``fleet-1/device.2``
+    stay separate tracks in Perfetto even though both pools number
+    their devices from zero.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, collector in enumerate(collectors):
+        events.extend(collector.trace_events(pid=pid))
+    trace: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if labels:
+        trace["metadata"] = dict(labels)
+    return trace
 
 
 # -- invariants ----------------------------------------------------------

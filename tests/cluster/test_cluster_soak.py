@@ -1,0 +1,152 @@
+"""Cluster soak: 10x overload, rolling deploys, strict lock sanitizer.
+
+The ISSUE-7 acceptance run.  Four fleets of four devices each take an
+open-loop trace at ten times a single fleet's offered load from
+multi-threaded paced producers while the control loop ticks on the
+simulated clock.  Mid-replay, two rolling deploys fire:
+
+1. a *good* model (same architecture, different weights) — the SLO
+   probe sees a cycles ratio of ~1.0 under live traffic and the deploy
+   cuts over every fleet and completes;
+2. a *slow* model (~4x cycles per inference) — the cycles-ratio
+   discriminator breaches and the deployer rolls every cut-over fleet
+   back, releasing the bad model's registry references.
+
+Afterwards, every cluster-scope invariant must hold — per-generation
+trace invariants, cluster conservation, the zero-lost-requests outcome
+ledger, per-fleet span stamping — and the strict lock-order sanitizer
+(covering the cluster's, router's, fleets', and every runtime's locks)
+must have seen zero nesting.
+
+Reduced configuration: set ``REPRO_CLUSTER_SOAK_REQUESTS`` (the CI job
+uses 300) to shrink the run; the default soaks 900 requests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.analysis.concurrency import instrument_cluster
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    SLOPolicy,
+    fleet_capacity_rps,
+    verify_cluster_invariants,
+)
+from repro.serve import ServeConfig, synthetic_trace
+
+N_REQUESTS = int(os.environ.get("REPRO_CLUSTER_SOAK_REQUESTS", "900"))
+N_FLEETS = 4
+N_DEVICES = 4
+N_PRODUCERS = 4
+LOAD_FACTOR = 10.0                 # x one fleet's offered capacity
+QUEUE_DEPTH = 8                    # small on purpose: floods must shed
+
+
+def test_cluster_soak_overload_deploys_and_sanitizer(
+    base_artifact, good_artifact, slow_artifact, cluster_registry,
+    cluster_sanitizer, digits_small,
+):
+    capacity = fleet_capacity_rps(base_artifact, N_DEVICES)
+    rate = LOAD_FACTOR * capacity
+    trace = synthetic_trace(
+        N_REQUESTS, rate, 64, seed=47, inputs=digits_small.x_test,
+    )
+    span_ms = trace[-1].arrival_ms
+    tick_ms = span_ms / 60.0
+
+    cluster = Cluster(
+        base_artifact,
+        ClusterConfig(
+            n_fleets=N_FLEETS,
+            serve=ServeConfig(
+                n_devices=N_DEVICES,
+                max_queue_depth=QUEUE_DEPTH,
+            ),
+            router_policy="hash",
+            tick_ms=tick_ms,
+            signal_window_ms=max(2.0, span_ms / 4.0),
+        ),
+        registry=cluster_registry,
+    )
+    instrument_cluster(cluster, cluster_sanitizer)
+    cluster.start()
+
+    slo = SLOPolicy(min_probe_completed=3, probe_ms=200.0,
+                    max_cycles_ratio=2.0)
+    cluster.schedule_deploy(good_artifact, 0.35 * span_ms, slo=slo)
+    cluster.schedule_deploy(slow_artifact, 0.75 * span_ms, slo=slo)
+
+    # Multi-threaded producers in two phases.  The first quarter of the
+    # trace floods in unpaced — at 10x load that overruns every fleet
+    # queue and forces shedding.  The rest is paced against the control
+    # loop's published tick time (NOT the device clock: devices burn
+    # through a backlog between two wall-clock slices of the control
+    # thread, so clock-paced traffic can end before the first tick).
+    # Control-paced traffic guarantees both deploy probes run under
+    # live load.
+    flood_cut = N_REQUESTS // 4
+    lead_ms = 2.0 * tick_ms
+
+    def produce(slice_index: int) -> None:
+        for index in range(slice_index, N_REQUESTS, N_PRODUCERS):
+            request = trace[index]
+            if index >= flood_cut:
+                while cluster.control_ms + lead_ms < request.arrival_ms:
+                    time.sleep(0.0002)
+            cluster.submit(request)
+
+    producers = [
+        threading.Thread(target=produce, args=(i,), name=f"producer-{i}")
+        for i in range(N_PRODUCERS)
+    ]
+    for producer in producers:
+        producer.start()
+    # Control loop on the main thread: one simulated tick per wall
+    # slice, which is exactly what the paced producers gate on.
+    now = 0.0
+    while any(p.is_alive() for p in producers):
+        now += tick_ms
+        cluster.tick(now)
+        time.sleep(0.001)
+    for producer in producers:
+        producer.join()
+
+    cluster.drain()
+    report = cluster.report()
+
+    # -- cluster-scope invariants, including through both deploys ------
+    violations = verify_cluster_invariants(report, cluster.submitted_ids)
+    assert not violations, "\n".join(violations)
+    assert report.submitted == N_REQUESTS
+    assert report.conserved
+    assert report.rejected > 0, "10x overload should shed"
+    assert report.completed > 0
+
+    # -- deploy 1 (good) completed; deploy 2 (slow) forced a rollback --
+    events = report.deploy_events
+    good_kinds = [e.kind for e in events
+                  if e.model_id == good_artifact.model_id]
+    slow_kinds = [e.kind for e in events
+                  if e.model_id == slow_artifact.model_id]
+    assert "complete" in good_kinds, good_kinds
+    assert good_kinds.count("cutover") == N_FLEETS
+    assert "rollback" in slow_kinds, slow_kinds
+    assert "complete" not in slow_kinds
+    # Rollback restored the promoted good model on every touched fleet.
+    newest_by_fleet = {}
+    for gen in report.generations:
+        current = newest_by_fleet.get(gen.fleet)
+        if current is None or gen.generation > current.generation:
+            newest_by_fleet[gen.fleet] = gen
+    assert len(newest_by_fleet) == N_FLEETS
+    for gen in newest_by_fleet.values():
+        assert gen.model_id == good_artifact.model_id
+    # The slow model's fleet references were all released again.
+    assert cluster_registry.refcount(slow_artifact.model_id) == 1
+
+    # -- zero lock nesting across every cluster/serve lock -------------
+    assert cluster_sanitizer.violations == [], cluster_sanitizer.report()

@@ -4,7 +4,16 @@ import json
 import sys
 import threading
 
-from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RateView,
+)
 
 
 class TestCounterGauge:
@@ -123,3 +132,105 @@ class TestRegistry:
         assert encoded["counters"]["requests"] == 3
         assert encoded["gauges"]["depth"] == 7
         assert encoded["histograms"]["latency_ms"]["count"] == 1
+
+
+class TestRateView:
+    def test_windowed_rate_over_steady_increments(self):
+        counter = Counter()
+        view = RateView(counter, window_ms=100.0)
+        # 10 increments every 10 ms -> 1000 increments/s.
+        for tick in range(0, 200, 10):
+            view.sample(float(tick))
+            counter.inc(10)
+        view.sample(200.0)
+        assert view.rate_per_s() == pytest.approx(1000.0)
+        assert view.ewma_per_s == pytest.approx(1000.0)
+
+    def test_window_prunes_old_samples(self):
+        counter = Counter()
+        view = RateView(counter, window_ms=50.0)
+        counter.inc(1000)
+        view.sample(0.0)                 # burst long before the window
+        for tick in range(100, 200, 10):
+            view.sample(float(tick))     # counter flat ever since
+        assert view.rate_per_s() == 0.0
+
+    def test_non_advancing_time_ignored(self):
+        counter = Counter()
+        view = RateView(counter)
+        view.sample(10.0)
+        counter.inc(5)
+        view.sample(10.0)                # same instant: dropped
+        view.sample(5.0)                 # going backwards: dropped
+        assert view.rate_per_s() == 0.0  # still a single sample
+
+    def test_cold_view_reads_zero(self):
+        view = RateView(Counter())
+        assert view.rate_per_s() == 0.0
+        assert view.ewma_per_s == 0.0
+        summary = view.summary()
+        assert summary == {"windowed_per_s": 0.0, "ewma_per_s": 0.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateView(Counter(), window_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            RateView(Counter(), alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            RateView(Counter(), alpha=1.5)
+
+    def test_registry_hands_out_one_view_per_name(self):
+        registry = MetricsRegistry()
+        view = registry.rate_view("requests.offered")
+        again = registry.rate_view("requests.offered")
+        assert view is again
+        registry.counter("requests.offered").inc(10)
+        view.sample(0.0)
+        registry.counter("requests.offered").inc(10)
+        view.sample(10.0)
+        snapshot = registry.snapshot()
+        assert snapshot["rates"]["requests.offered"][
+            "windowed_per_s"
+        ] == pytest.approx(1000.0)
+
+    def test_no_torn_reads_under_hammer(self):
+        """ISSUE-7 satellite: windowed rates stay sane mid-increment.
+
+        One writer increments the counter monotonically while a sampler
+        advances simulated time and reads rates at a hostile thread
+        switch interval.  A torn read would surface as a negative or
+        non-finite rate (a sample pair whose counter values ran
+        backwards) -- monotone counters can never yield one.
+        """
+        import math
+
+        counter = Counter()
+        view = RateView(counter, window_ms=5.0)
+        stop = threading.Event()
+        torn = []
+
+        def sampler():
+            now = 0.0
+            while not stop.is_set():
+                now += 0.01
+                view.sample(now)
+                windowed = view.rate_per_s()
+                ewma = view.ewma_per_s
+                if windowed < 0.0 or not math.isfinite(windowed):
+                    torn.append(("windowed", windowed))
+                if ewma < 0.0 or not math.isfinite(ewma):
+                    torn.append(("ewma", ewma))
+
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        thread = threading.Thread(target=sampler)
+        thread.start()
+        try:
+            for _ in range(20_000):
+                counter.inc()
+        finally:
+            stop.set()
+            thread.join()
+            sys.setswitchinterval(interval)
+        assert not torn, f"torn rates: {torn[:3]}"
+        assert counter.value == 20_000

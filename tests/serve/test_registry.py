@@ -63,3 +63,80 @@ class TestReplicas:
         on_device = np.array([replica.infer(row).label for row in x])
         reference = small_trained.quantized.predict(x)
         assert np.array_equal(on_device, reference)
+
+
+class TestRefcountedEviction:
+    """ISSUE-7 satellite: release()/eviction of retired artifacts."""
+
+    def test_register_acquire_release_counts(self, small_trained):
+        registry = ModelRegistry()
+        artifact = registry.register(small_trained.quantized)
+        assert registry.refcount(artifact.model_id) == 1
+        assert registry.acquire(artifact.model_id) is artifact
+        assert registry.refcount(artifact.model_id) == 2
+        assert registry.release(artifact.model_id) is False
+        assert registry.refcount(artifact.model_id) == 1
+        assert len(registry) == 1
+        assert registry.evictions == 0
+
+    def test_last_release_evicts_and_frees_kernel_cache(
+        self, small_trained
+    ):
+        from repro.mcu.fastpath import translation_cache_stats
+
+        registry = ModelRegistry()
+        artifact = registry.register(small_trained.quantized)
+        # register() warms one translation per layer program.
+        before = translation_cache_stats()["entries"]
+        assert registry.release(artifact.model_id) is True
+        assert registry.refcount(artifact.model_id) == 0
+        assert len(registry) == 0
+        assert registry.evictions == 1
+        after = translation_cache_stats()["entries"]
+        assert after == before - len(artifact.deployed.images)
+        with pytest.raises(ConfigurationError):
+            registry.get(artifact.model_id)
+
+    def test_acquire_or_release_after_eviction_is_typed(
+        self, small_trained
+    ):
+        registry = ModelRegistry()
+        artifact = registry.register(small_trained.quantized)
+        registry.release(artifact.model_id)
+        with pytest.raises(ConfigurationError):
+            registry.acquire(artifact.model_id)
+        with pytest.raises(ConfigurationError):
+            registry.release(artifact.model_id)
+
+    def test_rollback_reregisters_bit_identically(
+        self, small_trained, digits_small
+    ):
+        """Evict, then re-register the same content: same hash, same
+        bits — the rollback path restores an identical deployment."""
+        registry = ModelRegistry()
+        first = registry.register(small_trained.quantized)
+        model_id = first.model_id
+        flash_before = [
+            bytes(image.program.encode())
+            if hasattr(image.program, "encode") else None
+            for image in first.deployed.images
+        ]
+        x = digits_small.x_test[0]
+        result_before = first.replica().infer(x)
+        registry.release(model_id)
+        assert len(registry) == 0
+
+        second = registry.register(small_trained.quantized)
+        assert second.model_id == model_id       # same content hash
+        assert second is not first               # genuinely rebuilt
+        assert registry.refcount(model_id) == 1
+        result_after = second.replica().infer(x)
+        assert result_after.label == result_before.label
+        assert result_after.cycles == result_before.cycles
+        assert np.array_equal(result_after.logits, result_before.logits)
+        flash_after = [
+            bytes(image.program.encode())
+            if hasattr(image.program, "encode") else None
+            for image in second.deployed.images
+        ]
+        assert flash_after == flash_before

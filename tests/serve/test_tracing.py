@@ -207,3 +207,76 @@ class TestSyntheticTraceValidation:
             r.deadline_ms == pytest.approx(r.arrival_ms + 4.0)
             for r in trace
         )
+
+
+class TestFleetNamespacing:
+    """ISSUE-7 satellite: per-fleet device/track identities."""
+
+    def test_collector_stamps_namespace_on_spans(self):
+        collector = TraceCollector(namespace="fleet-3")
+        collector.record(Span(kind="execute", start_ms=0.0, end_ms=1.0,
+                              device_id=1))
+        span = collector.spans()[0]
+        assert span.fleet == "fleet-3"
+
+    def test_existing_fleet_stamp_not_overwritten(self):
+        collector = TraceCollector(namespace="fleet-3")
+        collector.record(Span(kind="execute", start_ms=0.0, end_ms=1.0,
+                              fleet="fleet-9"))
+        assert collector.spans()[0].fleet == "fleet-9"
+
+    def test_track_names_carry_namespace(self):
+        collector = TraceCollector(namespace="fleet-0")
+        assert collector._track_name(2) == "fleet-0/device.2"
+        assert collector._track_name(None) == "fleet-0/queue"
+        plain = TraceCollector()
+        assert plain._track_name(2) == "device.2"
+
+    def test_two_fleets_export_one_chrome_trace(
+        self, small_artifact, digits_small
+    ):
+        """Regression: two namespaced runtimes merge into one trace
+        with distinguishable per-fleet tracks and no tid collisions."""
+        from repro.serve import merged_chrome_trace
+
+        collectors = []
+        for fleet in ("fleet-0", "fleet-1"):
+            trace = synthetic_trace(12, 2000.0, 64, seed=11,
+                                    inputs=digits_small.x_test)
+            runtime = ServeRuntime(
+                small_artifact,
+                ServeConfig(n_devices=2, max_queue_depth=64,
+                            trace_namespace=fleet),
+            )
+            report = runtime.replay(trace)
+            assert not verify_trace_invariants(report)
+            collectors.append(report.trace)
+
+        merged = merged_chrome_trace(
+            collectors, labels={"scenario": "two-fleet"}
+        )
+        merged = json.loads(json.dumps(merged))    # serializable
+        events = merged["traceEvents"]
+        assert merged["metadata"] == {"scenario": "two-fleet"}
+
+        # One process per fleet, named by namespace.
+        process_names = {
+            e["pid"]: e["args"]["name"] for e in events
+            if e.get("name") == "process_name"
+        }
+        assert process_names == {
+            0: "repro.serve/fleet-0", 1: "repro.serve/fleet-1",
+        }
+        # Track names are namespaced and unique per (pid, tid).
+        tracks = {
+            (e["pid"], e["tid"]): e["args"]["name"] for e in events
+            if e.get("name") == "thread_name"
+        }
+        assert tracks[(0, 1)] == "fleet-0/device.0"
+        assert tracks[(1, 2)] == "fleet-1/device.1"
+        assert len(set(tracks.values())) == len(tracks)
+        # Every span event is attributed to its fleet.
+        for event in events:
+            if event.get("cat") == "serve":
+                expected = f"fleet-{event['pid']}"
+                assert event["args"]["fleet"] == expected
