@@ -304,6 +304,7 @@ def _cmd_cluster_bench(args) -> int:
         queue_depth=args.queue_depth,
         seed=args.seed,
         inputs=inputs,
+        engine=args.engine,
     )
     print(format_scaling(result))
     if args.json_out:
@@ -505,10 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate", type=float, default=2000.0,
                        help="offered load, requests per simulated second")
     serve.add_argument("--engine", default="fastpath",
-                       choices=("fastpath", "interpreter"),
+                       choices=("fastpath", "fastpath-v2", "interpreter"),
                        help="execution engine for device replicas: the "
-                            "basic-block translating engine (default) or "
-                            "the reference interpreter")
+                            "basic-block translating engine (default), "
+                            "the content-specialized batch-fused tier "
+                            "(fastpath-v2), or the reference interpreter")
     serve.add_argument("--policy", default="fifo", choices=("fifo", "edf"))
     serve.add_argument("--queue-depth", type=int, default=256)
     serve.add_argument("--batch", type=int, default=4)
@@ -568,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "fleet's ideal capacity (10-100x is the "
                               "overload regime this bench targets)")
     cluster.add_argument("--queue-depth", type=int, default=64)
+    cluster.add_argument("--engine", default="fastpath",
+                         choices=("fastpath", "fastpath-v2",
+                                  "interpreter"),
+                         help="execution engine for every fleet's "
+                              "device replicas")
     cluster.add_argument("--dataset", default=None,
                          help="draw request inputs from this dataset's "
                               "test split instead of random vectors")

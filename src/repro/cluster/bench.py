@@ -26,6 +26,7 @@ from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.deploy import SLOPolicy
 from repro.cluster.invariants import verify_cluster_invariants
 from repro.errors import VerificationError
+from repro.mcu.fastpath import DEFAULT_ENGINE
 from repro.serve.registry import ModelArtifact
 from repro.serve.runtime import ServeConfig
 from repro.serve.trace import synthetic_trace
@@ -56,6 +57,7 @@ def run_cluster_once(
     deploy_at_ms: float = 0.0,
     slo: SLOPolicy | None = None,
     tick_ms: float = 25.0,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[str, Any]:
     """One cell of the sweep: build, replay, verify, summarize."""
     trace = synthetic_trace(
@@ -67,6 +69,7 @@ def run_cluster_once(
         serve=ServeConfig(
             n_devices=devices_per_fleet,
             max_queue_depth=queue_depth,
+            engine=engine,
         ),
         router_policy=policy,
         router_seed=seed,
@@ -88,6 +91,7 @@ def run_cluster_once(
     return {
         "n_fleets": n_fleets,
         "router_policy": policy,
+        "engine": engine,
         "devices_per_fleet": devices_per_fleet,
         "requests": requests,
         "rate_rps": rate_rps,
@@ -125,6 +129,7 @@ def run_cluster_scaling(
     queue_depth: int = 64,
     seed: int = 0,
     inputs=None,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[str, Any]:
     """The full sweep: fleet counts x router policies at fixed load.
 
@@ -145,12 +150,14 @@ def run_cluster_scaling(
             queue_depth=queue_depth,
             seed=seed,
             inputs=inputs,
+            engine=engine,
         )
         for policy in policies
         for n_fleets in fleet_counts
     ]
     return {
         "model_id": artifact.model_id,
+        "engine": engine,
         "single_fleet_capacity_rps": capacity,
         "load_factor": load_factor,
         "rate_rps": rate,

@@ -1,6 +1,7 @@
 """Deployment: flash sizing, simulated flashing, and C code export."""
 
 from repro.deploy.artifact import (
+    BatchInferenceResult,
     DeployedModel,
     InferenceResult,
     analytic_model_cycles,
@@ -28,6 +29,7 @@ from repro.deploy.size import (
 )
 
 __all__ = [
+    "BatchInferenceResult",
     "DeployedModel",
     "Deployment",
     "FirmwareImage",

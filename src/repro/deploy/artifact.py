@@ -46,6 +46,36 @@ class InferenceResult:
     latency_ms: float
 
 
+@dataclass(frozen=True)
+class BatchInferenceResult:
+    """One admitted batch run through the device in a single call.
+
+    Simulated costs stay *per request*: every row is charged the same
+    input-independent ``cycles_per_inference``/``latency_ms`` the
+    sequential path would charge, so cycle accounting is unchanged by
+    fusion.  ``fused`` records whether the batch actually took the
+    tier-2 fused path (``False`` means a per-row fallback served it).
+    """
+
+    logits: np.ndarray
+    labels: np.ndarray
+    cycles_per_inference: int
+    latency_ms: float
+    fused: bool
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def row(self, index: int) -> InferenceResult:
+        """The equivalent per-request result for one batch row."""
+        return InferenceResult(
+            logits=self.logits[index],
+            label=int(self.labels[index]),
+            cycles=self.cycles_per_inference,
+            latency_ms=self.latency_ms,
+        )
+
+
 class DeployedModel:
     """A quantized model flashed onto a simulated board."""
 
@@ -107,23 +137,31 @@ class DeployedModel:
 
         self._cpu = make_cpu(self.memory, costs=board.costs, engine=engine)
         self.timer = Tim2(board.clock_hz)
+        #: Lazily computed fused-pipeline cache:
+        #: None = not computed, (False,) = not fusible, (True, sps) = go.
+        self._fused: tuple | None = None
 
     def warm_translations(self) -> int:
         """Translate every layer program ahead of the first inference.
 
-        Returns the number of layer programs the translator accepted.
-        Translations live in the process-wide cache keyed by program
-        content, so replicas flashed from this artifact reuse them; a
-        no-op (returning 0) under ``engine="interpreter"``.
+        Returns the number of layer programs the tier-1 translator
+        accepted.  Translations live in the process-wide cache keyed by
+        program content, so replicas flashed from this artifact reuse
+        them; a no-op (returning 0) under ``engine="interpreter"``.
+        Under ``engine="fastpath-v2"`` the tier-2 specializations are
+        warmed as well (one extra cache entry per accepted layer).
         """
         from repro.mcu.fastpath import FastCPU
 
         if not isinstance(self._cpu, FastCPU):
             return 0
-        return sum(
+        accepted = sum(
             self._cpu.translation(image.program) is not None
             for image in self.images
         )
+        if self._cpu.prefer_v2:
+            self._fused_pipeline()
+        return accepted
 
     def evict_translations(self) -> int:
         """Drop every layer program of this model from the shared cache.
@@ -151,6 +189,155 @@ class DeployedModel:
             self._cpu = make_cpu(
                 self.memory, costs=self.board.costs, engine=engine
             )
+            self._fused = None
+
+    # -- batch fusion -------------------------------------------------------
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        """``(region_index, offset)`` of an address, in region order."""
+        for j, region in enumerate(self.memory.regions):
+            if region.contains(addr, 1):
+                return j, addr - region.base
+        raise ConfigurationError(f"address 0x{addr:08x} is unmapped")
+
+    def _chain_is_sound(self, sps) -> bool:
+        """Whether running layers batch-at-a-time equals row-at-a-time.
+
+        Fusion reorders execution from (row 0: layers 0..L) .. (row B:
+        layers 0..L) into (layer 0: rows 0..B) .. (layer L: rows 0..B).
+        That is exact iff no layer reads a RAM cell left over from a
+        *previous row's* run: every read-before-write cell that any
+        layer dirties must be freshly written this row — by the input
+        writer or an earlier layer — before it is read.
+        """
+        image = self.images[0]
+        j, offset = self._locate(image.input_addr)
+        written = {
+            (j, offset + i)
+            for i in range(image.input_count * image.input_width)
+        }
+        all_dirty: set = set()
+        for sp in sps:
+            all_dirty |= sp.dirty_cells
+        for sp in sps:
+            for cell in sp.reads_before_write:
+                if cell in all_dirty and cell not in written:
+                    return False
+            written |= sp.dirty_cells
+        return True
+
+    def _fused_pipeline(self):
+        """Per-layer specializations when whole-batch fusion is sound.
+
+        ``None`` (callers fall back to per-row inference) unless the
+        engine is ``fastpath-v2``, every layer specialized, and the
+        cross-layer hazard check passes.  Cached per engine setting;
+        the specializations themselves live in the shared tier-2 cache.
+        """
+        if self._fused is not None:
+            return self._fused[1]
+        from repro.mcu.fastpath import FastCPU
+
+        pipeline = None
+        cpu = self._cpu
+        if isinstance(cpu, FastCPU) and cpu.prefer_v2:
+            sps = [cpu.specialization(img.program) for img in self.images]
+            if all(
+                sp is not None and sp.instructions <= cpu.max_instructions
+                for sp in sps
+            ) and self._chain_is_sound(sps):
+                pipeline = sps
+        self._fused = (pipeline is not None, pipeline)
+        return pipeline
+
+    @property
+    def supports_batch_fusion(self) -> bool:
+        """True when :meth:`infer_batch` will take the fused path."""
+        return self._fused_pipeline() is not None
+
+    @property
+    def fused_cycles_per_inference(self) -> int:
+        """Simulated cycles each fused-batch row is charged.
+
+        Input-independent, so device pools can price a batch without
+        running it.  Raises unless :attr:`supports_batch_fusion`.
+        """
+        sps = self._fused_pipeline()
+        if sps is None:
+            raise ConfigurationError(
+                f"model (engine={self.engine!r}) does not support "
+                f"batch fusion"
+            )
+        return sum(sp.cycles for sp in sps)
+
+    def infer_batch(self, x_batch: np.ndarray) -> BatchInferenceResult:
+        """Run an admitted batch through the device in one fused call.
+
+        Bit-exact with ``len(x_batch)`` sequential :meth:`infer` calls:
+        identical per-row logits/labels, identical per-request cycle and
+        latency charges, identical final RAM and per-region traffic
+        counters (the test suite enforces all of these).  Falls back to
+        the sequential path (``fused=False``) when the engine is not
+        ``fastpath-v2`` or any layer declined specialization.
+        """
+        x_batch = self._validate_input(x_batch, batch=True)
+        if len(x_batch) == 0:
+            raise InvalidInputError("batch is empty")
+        sps = self._fused_pipeline()
+        if sps is None:
+            rows = [self.infer(row) for row in x_batch]
+            return BatchInferenceResult(
+                logits=np.stack([r.logits for r in rows]),
+                labels=np.array([r.label for r in rows]),
+                cycles_per_inference=rows[0].cycles,
+                latency_ms=rows[0].latency_ms,
+                fused=False,
+            )
+        from repro.mcu.fastpath_v2 import (
+            charge_batch_traffic,
+            commit_batch_row,
+            make_batch_state,
+        )
+
+        batch = len(x_batch)
+        x_int = self.quantized.quantize_input(x_batch)
+        mats = make_batch_state(self.memory, batch)
+        positions = {}
+        for j, region in enumerate(self.memory.regions):
+            if region.writable:
+                positions[j] = len(positions)
+
+        first, last = self.images[0], self.images[-1]
+        widths = {1: np.int8, 2: np.int16, 4: np.int32}
+        j, off = self._locate(first.input_addr)
+        in_dtype = np.dtype(widths[first.input_width]).newbyteorder("<")
+        raw = np.ascontiguousarray(x_int.astype(in_dtype)) \
+            .view(np.uint8).reshape(batch, -1)
+        span = first.input_count * first.input_width
+        mats[positions[j]][:, off:off + span] = raw
+
+        self.timer.start()
+        total_cycles = 0
+        for sp in sps:
+            sp.fn(mats)
+            charge_batch_traffic(self.memory, sp, batch)
+            total_cycles += sp.cycles
+        self.timer.advance(total_cycles)
+        commit_batch_row(self.memory, mats, batch - 1)
+
+        jo, ooff = self._locate(last.output_addr)
+        out_dtype = np.dtype(widths[last.output_width]).newbyteorder("<")
+        ospan = last.output_count * last.output_width
+        logits = np.ascontiguousarray(
+            mats[positions[jo]][:, ooff:ooff + ospan]
+        ).view(out_dtype)
+        return BatchInferenceResult(
+            logits=logits,
+            labels=logits.argmax(axis=1),
+            cycles_per_inference=total_cycles,
+            latency_ms=self.timer.elapsed_ms(),
+            fused=True,
+        )
 
     # -- inference ----------------------------------------------------------
 
@@ -190,6 +377,14 @@ class DeployedModel:
             raise InvalidInputError("input contains NaN or infinity")
         return arr
 
+    def validate_input(self, x, *, batch: bool = False) -> np.ndarray:
+        """Public preflight hook: the checks :meth:`infer` applies.
+
+        Lets callers (e.g. the serve pool's fused batch path) surface
+        ``InvalidInputError`` for one row before committing a batch.
+        """
+        return self._validate_input(x, batch=batch)
+
     def infer(self, x: np.ndarray) -> InferenceResult:
         """Run one float input through the deployed integer model."""
         x_int = self.quantized.quantize_input(
@@ -226,6 +421,8 @@ class DeployedModel:
         x_batch = self._validate_input(x_batch, batch=True)
         if vectorized:
             return self.quantized.predict(x_batch)
+        if len(x_batch) and self._fused_pipeline() is not None:
+            return np.asarray(self.infer_batch(x_batch).labels)
         return np.array([self.infer(row).label for row in x_batch])
 
     def accuracy(

@@ -40,11 +40,18 @@ from repro.mcu.fastpath import (
     clear_translation_cache,
     make_cpu,
     translate,
+    translate_v2,
     translation_cache_stats,
 )
+from repro.mcu.fastpath_v2 import SpecializedProgram
 from repro.mcu.isa import Assembler, Instr, Op, Program, Reg
 from repro.mcu.memory import Allocator, MemoryMap, Region
-from repro.mcu.profiler import BlockProfile, LatencyReport, Profiler
+from repro.mcu.profiler import (
+    BatchLatencyReport,
+    BlockProfile,
+    LatencyReport,
+    Profiler,
+)
 from repro.mcu.timer import Tim2
 
 __all__ = [
@@ -62,6 +69,7 @@ __all__ = [
     "run_with_interrupts",
     "worst_case_latency_ms",
     "Allocator",
+    "BatchLatencyReport",
     "BlockProfile",
     "BoardProfile",
     "CORTEX_M4_REFERENCE",
@@ -82,6 +90,7 @@ __all__ = [
     "Reg",
     "Region",
     "STM32F072RB",
+    "SpecializedProgram",
     "Tim2",
     "TranslatedProgram",
     "classify_board",
@@ -89,5 +98,6 @@ __all__ = [
     "format_mcu_class_table",
     "make_cpu",
     "translate",
+    "translate_v2",
     "translation_cache_stats",
 ]

@@ -63,8 +63,11 @@ from repro.mcu.memory import MemoryMap
 
 _MASK32 = 0xFFFF_FFFF
 
-#: Recognised execution engines, in preference order.
-ENGINES = ("fastpath", "interpreter")
+#: Recognised execution engines.  ``"fastpath-v2"`` prefers the
+#: content-specialized tier (:mod:`repro.mcu.fastpath_v2`) and falls
+#: back to tier 1 and then the interpreter; ``"fastpath"`` is tier 1
+#: with interpreter fallback.
+ENGINES = ("fastpath", "fastpath-v2", "interpreter")
 #: Engine used when callers do not choose one explicitly.
 DEFAULT_ENGINE = "fastpath"
 
@@ -471,10 +474,19 @@ def _build_translation(
 
 
 # -- translation cache ----------------------------------------------------
+#
+# One process-wide map holds both tiers; keys are tier-tagged.  Tier-2
+# keys additionally carry a SHA-256 of the read-only region content,
+# because a specialization folds those bytes into its code: same
+# program + layout with different flash words must never share an
+# entry.
 
 _CACHE: dict = {}  # guarded_by: _CACHE_LOCK
 _CACHE_LOCK = threading.Lock()
-_STATS = {"hits": 0, "misses": 0, "declined": 0}  # guarded_by: _CACHE_LOCK
+_STATS = {  # guarded_by: _CACHE_LOCK
+    "v1": {"hits": 0, "misses": 0, "declined": 0},
+    "v2": {"hits": 0, "misses": 0, "declined": 0},
+}
 
 
 def _layout_of(memory: MemoryMap) -> tuple[tuple[int, int, bool], ...]:
@@ -482,7 +494,16 @@ def _layout_of(memory: MemoryMap) -> tuple[tuple[int, int, bool], ...]:
 
 
 def _cache_key(program: Program, costs: CycleCosts, layout) -> tuple:
-    return (program.name, program.instructions, costs, layout)
+    return ("v1", program.name, program.instructions, costs, layout)
+
+
+def _cache_key_v2(
+    program: Program, costs: CycleCosts, layout, content_hash: str
+) -> tuple:
+    return (
+        "v2", program.name, program.instructions, costs, layout,
+        content_hash,
+    )
 
 
 def translate(
@@ -502,14 +523,58 @@ def translate(
     with _CACHE_LOCK:
         entry = _CACHE.get(key)
         if entry is not None:
-            _STATS["hits"] += 1
+            _STATS["v1"]["hits"] += 1
             return entry if isinstance(entry, TranslatedProgram) else None
     built = _build_translation(program, costs, layout)
     with _CACHE_LOCK:
         entry = _CACHE.setdefault(key, built)
-        _STATS["misses"] += 1
+        _STATS["v1"]["misses"] += 1
         if not isinstance(entry, TranslatedProgram):
-            _STATS["declined"] += 1
+            _STATS["v1"]["declined"] += 1
+            return None
+    return entry
+
+
+def translate_v2(
+    program: Program,
+    memory: MemoryMap,
+    costs: CycleCosts | None = None,
+):
+    """Tier-2 specialization for ``program`` (cached), or ``None``.
+
+    Requires a tier-1 translation first (whose per-block static cycle
+    totals the specialization reuses), then symbolically executes the
+    program against ``memory``'s frozen read-only content.  Declines —
+    returning ``None`` so callers stay on tier 1 — when any branch or
+    address depends on writable-memory data.
+    """
+    from repro.mcu import fastpath_v2
+
+    costs = costs or CycleCosts()
+    layout = _layout_of(memory)
+    content_hash = fastpath_v2.specialization_hash(memory)
+    key = _cache_key_v2(program, costs, layout, content_hash)
+    with _CACHE_LOCK:
+        entry = _CACHE.get(key)
+        if entry is not None:
+            _STATS["v2"]["hits"] += 1
+            if isinstance(entry, fastpath_v2.SpecializedProgram):
+                return entry
+            return None
+    base = translate(program, memory, costs)
+    if base is None:
+        built = "tier 1 declined: " + (
+            why_declined(program, memory, costs) or "unknown"
+        )
+    else:
+        built = fastpath_v2.build_specialization(
+            program, memory, costs, base
+        )
+    with _CACHE_LOCK:
+        entry = _CACHE.setdefault(key, built)
+        _STATS["v2"]["misses"] += 1
+        if not isinstance(entry, fastpath_v2.SpecializedProgram):
+            _STATS["v2"]["declined"] += 1
             return None
     return entry
 
@@ -528,10 +593,49 @@ def why_declined(
     return entry if isinstance(entry, str) else None
 
 
-def translation_cache_stats() -> dict[str, int]:
-    """Process-wide cache stats (entries/hits/misses/declined)."""
+def why_declined_v2(
+    program: Program,
+    memory: MemoryMap,
+    costs: CycleCosts | None = None,
+) -> str | None:
+    """Tier-2 decline reason, or ``None`` if it specializes."""
+    if translate_v2(program, memory, costs) is not None:
+        return None
+    from repro.mcu import fastpath_v2
+
+    key = _cache_key_v2(
+        program,
+        costs or CycleCosts(),
+        _layout_of(memory),
+        fastpath_v2.specialization_hash(memory),
+    )
     with _CACHE_LOCK:
-        return {"entries": len(_CACHE), **_STATS}
+        entry = _CACHE.get(key)
+    return entry if isinstance(entry, str) else None
+
+
+def translation_cache_stats() -> dict:
+    """Process-wide cache stats, aggregate and per tier.
+
+    The top-level ``entries``/``hits``/``misses``/``declined`` keys
+    aggregate both tiers (stable for callers that predate tiering);
+    ``"v1"`` and ``"v2"`` carry the same four keys per tier.
+    """
+    with _CACHE_LOCK:
+        v1_entries = sum(1 for key in _CACHE if key[0] == "v1")
+        tiers = {
+            "v1": {"entries": v1_entries, **_STATS["v1"]},
+            "v2": {"entries": len(_CACHE) - v1_entries, **_STATS["v2"]},
+        }
+        return {
+            "entries": len(_CACHE),
+            "hits": _STATS["v1"]["hits"] + _STATS["v2"]["hits"],
+            "misses": _STATS["v1"]["misses"] + _STATS["v2"]["misses"],
+            "declined": (
+                _STATS["v1"]["declined"] + _STATS["v2"]["declined"]
+            ),
+            **tiers,
+        }
 
 
 def evict_translation(
@@ -539,7 +643,7 @@ def evict_translation(
     memory: MemoryMap,
     costs: CycleCosts | None = None,
 ) -> bool:
-    """Drop one program's cache entry (translated or declined).
+    """Drop one program's cache entries — both tiers — for this model.
 
     Used by ``ModelRegistry.release()`` when a retired artifact's
     refcount reaches zero, so blue/green cutovers actually free the
@@ -548,16 +652,26 @@ def evict_translation(
     ``TranslatedProgram`` keeps running (the object stays alive through
     its own reference); only the shared cache forgets it.
     """
-    key = _cache_key(program, costs or CycleCosts(), _layout_of(memory))
+    from repro.mcu import fastpath_v2
+
+    costs = costs or CycleCosts()
+    layout = _layout_of(memory)
+    key = _cache_key(program, costs, layout)
+    key_v2 = _cache_key_v2(
+        program, costs, layout, fastpath_v2.specialization_hash(memory)
+    )
     with _CACHE_LOCK:
-        return _CACHE.pop(key, None) is not None
+        dropped_v1 = _CACHE.pop(key, None) is not None
+        dropped_v2 = _CACHE.pop(key_v2, None) is not None
+    return dropped_v1 or dropped_v2
 
 
 def clear_translation_cache() -> None:
     with _CACHE_LOCK:
         _CACHE.clear()
-        for k in _STATS:
-            _STATS[k] = 0
+        for tier in _STATS.values():
+            for k in tier:
+                tier[k] = 0
 
 
 # -- the engine -----------------------------------------------------------
@@ -569,6 +683,12 @@ class FastCPU:
     Programs the translator declines run on an embedded interpreter
     fallback; ``last_engine`` records which engine served the last
     ``run()`` so tests can prove the fast path was actually exercised.
+
+    With ``prefer_v2`` the tier chain becomes specialized -> tier 1 ->
+    interpreter: tier 2 serves a run only when the program specialized
+    (input-independent control flow and addressing), entry registers
+    are all zero (the specialization's precondition), and the run
+    cannot hit the instruction limit mid-flight.
     """
 
     def __init__(
@@ -576,16 +696,20 @@ class FastCPU:
         memory: MemoryMap,
         costs: CycleCosts | None = None,
         max_instructions: int = 200_000_000,
+        prefer_v2: bool = False,
     ) -> None:
         self.memory = memory
         self.costs = costs or CycleCosts()
         self.max_instructions = max_instructions
+        self.prefer_v2 = prefer_v2
         self._interpreter = CPU(memory, self.costs, max_instructions)
         #: id(program) -> (program, translation); the strong program
         #: reference keeps the id stable for the cache's lifetime.
         self._translations: dict[int, tuple] = {}
+        self._specializations: dict[int, tuple] = {}
         self.last_engine: str | None = None
         self.last_translation: TranslatedProgram | None = None
+        self.last_specialization = None
         self.last_block_counts: list[int] | None = None
         self.last_taken_counts: list[int] | None = None
 
@@ -597,11 +721,35 @@ class FastCPU:
         self._translations[id(program)] = (program, tp)
         return tp
 
+    def specialization(self, program: Program):
+        """Tier-2 specialization for ``program``, or ``None``.
+
+        Memoized per program identity like :meth:`translation`; the
+        shared cache keeps fleet replicas from re-specializing.
+        """
+        entry = self._specializations.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        sp = translate_v2(program, self.memory, self.costs)
+        self._specializations[id(program)] = (program, sp)
+        return sp
+
+    @staticmethod
+    def _zero_entry(registers: dict | None) -> bool:
+        return not registers or all(
+            (int(value) & _MASK32) == 0 for value in registers.values()
+        )
+
     def run(
         self, program: Program, registers: dict | None = None
     ) -> ExecutionResult:
         """Execute ``program`` until ``HALT``; bit-exact with ``CPU.run``."""
+        if self.prefer_v2 and self._zero_entry(registers):
+            sp = self.specialization(program)
+            if sp is not None and sp.instructions <= self.max_instructions:
+                return self._run_v2(sp)
         tp = self.translation(program)
+        self.last_specialization = None
         if tp is None:
             self.last_engine = "interpreter"
             self.last_translation = None
@@ -624,6 +772,26 @@ class FastCPU:
             cycles, executed, out_regs, tp.fold_op_counts(bc)
         )
 
+    def _run_v2(self, sp) -> ExecutionResult:
+        from repro.mcu import fastpath_v2
+
+        mats = fastpath_v2.make_batch_state(self.memory, 1)
+        out_regs = sp.fn(mats)
+        fastpath_v2.commit_batch_row(self.memory, mats, 0)
+        fastpath_v2.charge_batch_traffic(self.memory, sp, 1)
+        self.last_engine = "fastpath-v2"
+        self.last_translation = sp.base
+        self.last_specialization = sp
+        self.last_block_counts = list(sp.block_counts)
+        self.last_taken_counts = list(sp.taken_counts)
+        registers = [
+            value if isinstance(value, int) else int(value[0])
+            for value in out_regs
+        ]
+        return ExecutionResult(
+            sp.cycles, sp.instructions, registers, sp.op_counts()
+        )
+
 
 def make_cpu(
     memory: MemoryMap,
@@ -631,9 +799,12 @@ def make_cpu(
     max_instructions: int = 200_000_000,
     engine: str = DEFAULT_ENGINE,
 ) -> CPU | FastCPU:
-    """The single engine switch: ``"fastpath"`` or ``"interpreter"``."""
+    """The single engine switch: ``"fastpath-v2"``, ``"fastpath"``, or
+    ``"interpreter"``."""
     if engine == "fastpath":
         return FastCPU(memory, costs, max_instructions)
+    if engine == "fastpath-v2":
+        return FastCPU(memory, costs, max_instructions, prefer_v2=True)
     if engine == "interpreter":
         return CPU(memory, costs, max_instructions)
     raise ConfigurationError(

@@ -1,0 +1,881 @@
+"""Content-specialized, batch-fused translation (fastpath tier 2).
+
+Tier 1 (:mod:`repro.mcu.fastpath`) compiles each basic block into
+straight-line Python but still runs one input at a time and keeps every
+program value generic.  The kernels this repository generates are even
+more constrained than tier 1 exploits: their adjacency tables, weight
+words, and block descriptors live in *read-only* regions whose bytes are
+known at translate() time, and §4.1's static-control-flow discipline
+means every branch decision and every effective address is independent
+of the input once that frozen content is fixed.
+
+Tier 2 turns that into a specializer: :func:`build_specialization`
+*symbolically executes* the program exactly once, with
+
+- read-only region bytes, entry registers (all zero), and NZV flags
+  held **concrete**, and
+- writable region bytes held **symbolic** (each first-read byte becomes
+  a load atom; stored values become expression nodes),
+
+and declines — falling back to tier 1 — the moment a branch consults a
+symbolic flag or a load/store address is symbolic.  This check is
+self-contained and sound by induction: as long as every branch up to
+the current instruction was decided by concrete values, the trace *is*
+the unique execution path for every possible input, so the recorded
+per-block execution counts, cycle totals, op counts, and region traffic
+are input-independent constants.  Cycle accounting therefore reuses
+tier 1's per-block static totals verbatim and stays bit-identical to
+the interpreter.
+
+The recorded expression DAG is then emitted as one NumPy function over
+2-D ``(batch, region_size)`` uint8 arrays: constant offsets and indices
+are folded into literal column gathers, unrolled ternary fan-in
+collapses into affine accumulators materialized as an int64
+gather-matmul (``D[:, idx] @ coefs``), and the whole admitted batch
+runs in a single call.  int64 accumulation is exact mod 2**32 even
+when it wraps (2**32 divides 2**64), and every uint32 array operation
+wraps exactly like the interpreter's ``& 0xFFFFFFFF``.
+
+Batch semantics are *sequential-equivalent*: running ``fn`` over a
+batch leaves row ``k``'s final RAM equal to what ``k`` sequential runs
+would produce, provided no cell is read-before-write in one run and
+written by another (the ``reads_before_write``/``dirty_cells`` sets let
+callers verify this; :class:`repro.deploy.artifact.DeployedModel`
+checks it per layer pipeline before fusing).
+
+This module is pure (no locks, no global state): caching, statistics,
+and engine dispatch live in :mod:`repro.mcu.fastpath`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.mcu.cpu import CycleCosts, _branch_taken, _to_signed, subtract_flags
+from repro.mcu.isa import (
+    ACCESS_WIDTH,
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    LOAD_OPS,
+    NUM_REGS,
+    SIGNED_LOADS,
+    STORE_OPS,
+    Op,
+    Program,
+)
+from repro.mcu.memory import MemoryMap
+
+_MASK32 = 0xFFFF_FFFF
+
+#: Dynamic instruction budget for the specialize-time trace.  Programs
+#: whose single execution exceeds it decline to tier 1 (the trace would
+#: dominate translation time without bounding emitted code size).
+TRACE_BUDGET = 1_500_000
+
+#: Affine terms over one (region, width) load group below this count are
+#: emitted as scalar column multiplies; at or above it they become one
+#: int64 gather-matmul.
+_MATMUL_MIN = 4
+
+#: Scalar parts folded into one emitted accumulation statement.
+_SUM_CHUNK = 24
+
+
+def specialization_hash(memory: MemoryMap) -> str:
+    """SHA-256 over the frozen (read-only) region content.
+
+    Two memory maps with identical layout but different flash bytes
+    (e.g. two models sharing one kernel template) must never share a
+    specialization; this hash extends the tier-2 cache key.
+    """
+    digest = hashlib.sha256()
+    for region in memory.regions:
+        if region.writable:
+            continue
+        digest.update(
+            f"{region.name}:{region.base}:{region.size}:".encode()
+        )
+        digest.update(bytes(region.data))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SpecializedProgram:
+    """One content-specialized, batch-fused program plus its constants.
+
+    Everything the interpreter would *compute* about a run — cycles,
+    instruction count, op counts, per-region traffic, per-block
+    execution counters — is input-independent for an accepted program,
+    so it is recorded here once at specialize time.
+    """
+
+    program: Program
+    #: The tier-1 translation whose per-block static cycle totals this
+    #: specialization reuses (also the fallback when callers decline).
+    base: object
+    #: ``fn(mats) -> [r0 .. r12]`` where ``mats`` holds one
+    #: ``(batch, size)`` uint8 array per writable region, in region
+    #: order.  Mutates ``mats`` in place to each row's final RAM.
+    fn: Callable
+    source: str
+    cycles: int
+    instructions: int
+    block_counts: tuple[int, ...]
+    taken_counts: tuple[int, ...]
+    op_count_items: tuple[tuple[Op, int], ...]
+    #: Per memory region, in region order:
+    #: (loads, bytes_loaded, stores, bytes_stored) of one run.
+    traffic: tuple[tuple[int, int, int, int], ...]
+    #: Writable cells ``(region_index, offset)`` read before any write
+    #: in one run (their initial bytes feed the computation).
+    reads_before_write: frozenset
+    #: Writable cells written by one run.
+    dirty_cells: frozenset
+
+    def __deepcopy__(self, memo: dict) -> "SpecializedProgram":
+        # Immutable and content-addressed, like TranslatedProgram:
+        # fleet replicas share one specialization.
+        return self
+
+    def op_counts(self) -> dict[Op, int]:
+        return dict(self.op_count_items)
+
+
+def build_specialization(
+    program: Program,
+    memory: MemoryMap,
+    costs: CycleCosts,
+    base,
+) -> SpecializedProgram | str:
+    """Specialize ``program`` against ``memory``'s frozen content.
+
+    Returns the :class:`SpecializedProgram`, or a human-readable
+    decline reason when the program is not input-independent enough
+    (callers then stay on tier 1 / the interpreter).
+    """
+    try:
+        return _Specializer(program, memory, costs, base).run()
+    except _Decline as exc:
+        return exc.reason
+
+
+# -- batch state helpers ---------------------------------------------------
+
+
+def make_batch_state(memory: MemoryMap, batch: int) -> list[np.ndarray]:
+    """``(batch, size)`` uint8 arrays seeded from current RAM content.
+
+    One array per writable region, in region order — the ``mats``
+    argument of :attr:`SpecializedProgram.fn`.
+    """
+    mats = []
+    for region in memory.regions:
+        if region.writable:
+            row = np.frombuffer(bytes(region.data), dtype=np.uint8)
+            mats.append(np.repeat(row[None, :], batch, axis=0))
+    return mats
+
+
+def commit_batch_row(
+    memory: MemoryMap, mats: list[np.ndarray], row: int
+) -> None:
+    """Copy one batch row's final RAM back into ``memory``.
+
+    After a fused batch, committing the *last* row reproduces the
+    memory state ``batch`` sequential runs would leave behind.
+    """
+    position = 0
+    for region in memory.regions:
+        if region.writable:
+            region.data[:] = mats[position][row].tobytes()
+            position += 1
+
+
+def charge_batch_traffic(
+    memory: MemoryMap, sp: SpecializedProgram, batch: int
+) -> None:
+    """Advance per-region access counters for ``batch`` fused runs."""
+    for region, (loads, lbytes, stores, sbytes) in zip(
+        memory.regions, sp.traffic
+    ):
+        region.loads += batch * loads
+        region.bytes_loaded += batch * lbytes
+        region.stores += batch * stores
+        region.bytes_stored += batch * sbytes
+
+
+# -- symbolic values -------------------------------------------------------
+
+
+class _Decline(Exception):
+    """Raised when the trace leaves the input-independent fragment."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+def _srep(value: int) -> int:
+    """Signed 32-bit representative of ``value`` mod 2**32."""
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class _Sym:
+    """``(base + sum(coef * node)) mod 2**32`` over DAG node values.
+
+    Immutable once constructed; ``terms`` maps node id to a nonzero
+    signed-32-bit coefficient.  Keeping values affine as long as
+    possible is what lets unrolled accumulator chains collapse into a
+    single gather-matmul at emission time.
+    """
+
+    __slots__ = ("base", "terms")
+
+    def __init__(self, base: int, terms: dict) -> None:
+        self.base = base & _MASK32
+        self.terms = terms
+
+
+def _mk(base: int, terms: dict):
+    if not terms:
+        return base & _MASK32
+    return _Sym(base, terms)
+
+
+def _v_add(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return (a + b) & _MASK32
+    base = 0
+    terms: dict = {}
+    for value in (a, b):
+        if isinstance(value, int):
+            base += value
+            continue
+        base += value.base
+        for nid, coef in value.terms.items():
+            merged = _srep(terms.get(nid, 0) + coef)
+            if merged:
+                terms[nid] = merged
+            else:
+                terms.pop(nid, None)
+    return _mk(base, terms)
+
+
+def _v_scale(a, c: int):
+    """``(a * c) mod 2**32`` for a constant multiplier ``c``."""
+    if isinstance(a, int):
+        return (a * c) & _MASK32
+    terms = {}
+    for nid, coef in a.terms.items():
+        scaled = _srep(coef * c)
+        if scaled:
+            terms[nid] = scaled
+    return _mk(a.base * c, terms)
+
+
+def _v_sub(a, b):
+    return _v_add(a, _v_scale(b, -1))
+
+
+class _Dag:
+    """Hash-consed expression nodes; ids are topological by construction."""
+
+    def __init__(self) -> None:
+        self.nodes: list[tuple] = []
+        self._memo: dict[tuple, int] = {}
+
+    def intern(self, node: tuple) -> int:
+        nid = self._memo.get(node)
+        if nid is None:
+            nid = len(self.nodes)
+            self.nodes.append(node)
+            self._memo[node] = nid
+        return nid
+
+
+def _materialize(dag: _Dag, value):
+    """Value as a reference: ``("k", const)`` or ``("n", node_id)``."""
+    if isinstance(value, int):
+        return ("k", value & _MASK32)
+    items = sorted(value.terms.items())
+    if value.base == 0 and len(items) == 1 and items[0][1] == 1:
+        return ("n", items[0][0])
+    return ("n", dag.intern(("aff", value.base, tuple(items))))
+
+
+def _of_node(nid: int) -> _Sym:
+    return _Sym(0, {nid: 1})
+
+
+def _sex(dag: _Dag, ref, width: int):
+    """Sign-extend a value known to be below ``2**(8*width)``."""
+    sign = 1 << (8 * width - 1)
+    if ref[0] == "k":
+        return ((ref[1] ^ sign) - sign) & _MASK32
+    return _of_node(dag.intern(("sex", ref[1], width)))
+
+
+def _v_bitop(dag: _Dag, opname: str, a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if opname == "and":
+            return a & b
+        if opname == "or":
+            return a | b
+        return a ^ b
+    if opname == "and":
+        if (isinstance(a, int) and a == 0) or (isinstance(b, int) and b == 0):
+            return 0
+        if isinstance(a, int) and a == _MASK32:
+            return b
+        if isinstance(b, int) and b == _MASK32:
+            return a
+    else:
+        if isinstance(a, int) and a == 0:
+            return b
+        if isinstance(b, int) and b == 0:
+            return a
+    ra, rb = _materialize(dag, a), _materialize(dag, b)
+    ra, rb = min(ra, rb), max(ra, rb)  # commutative: canonical order
+    return _of_node(dag.intern(("bin", opname, ra, rb)))
+
+
+# -- the specializer -------------------------------------------------------
+
+
+class _Specializer:
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryMap,
+        costs: CycleCosts,
+        base,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.costs = costs
+        self.base = base
+        self.dag = _Dag()
+        self.regions = memory.regions
+        #: Per-region offset -> int byte | ("n", byte_node_id).
+        self.overlay: list[dict] = [{} for _ in self.regions]
+        self.rbw: set = set()
+        self.dirty: set = set()
+        self.traffic = [[0, 0, 0, 0] for _ in self.regions]
+
+    # -- trace ------------------------------------------------------------
+
+    def run(self) -> SpecializedProgram:
+        program, base = self.program, self.base
+        instrs = program.instructions
+        leader = {span[0]: k for k, span in enumerate(base.block_spans)}
+        cond_of = {
+            span[1]: k
+            for k, span in enumerate(base.block_spans)
+            if instrs[span[1]].op in COND_BRANCH_OPS
+        }
+        bc = [0] * base.n_blocks
+        tk = [0] * base.n_blocks
+        regs: list = [0] * NUM_REGS
+        flags: tuple | None = (False, False, False)
+        pc = 0
+        executed = 0
+
+        while True:
+            if executed >= TRACE_BUDGET:
+                raise _Decline(
+                    f"one execution exceeds the {TRACE_BUDGET}-instruction "
+                    f"specialization budget"
+                )
+            block = leader.get(pc)
+            if block is not None:
+                bc[block] += 1
+            try:
+                instr = instrs[pc]
+            except IndexError:
+                raise _Decline(f"pc {pc} out of range") from None
+            executed += 1
+            op = instr.op
+            ops = instr.operands
+
+            if op is Op.HALT:
+                break
+            if op in BRANCH_OPS:
+                if op is Op.B:
+                    pc = int(ops[0])
+                    continue
+                if flags is None:
+                    raise _Decline(
+                        "branch at pc "
+                        f"{pc} depends on input data (symbolic flags)"
+                    )
+                if _branch_taken(op, *flags):
+                    tk[cond_of[pc]] += 1
+                    pc = int(ops[0])
+                else:
+                    pc += 1
+                continue
+
+            if op is Op.MOVI:
+                regs[ops[0]] = int(ops[1]) & _MASK32
+            elif op is Op.MOV:
+                regs[ops[0]] = regs[ops[1]]
+            elif op is Op.ADD:
+                regs[ops[0]] = _v_add(regs[ops[1]], regs[ops[2]])
+            elif op is Op.ADDI:
+                regs[ops[0]] = _v_add(regs[ops[1]], int(ops[2]) & _MASK32)
+            elif op is Op.SUB:
+                regs[ops[0]] = _v_sub(regs[ops[1]], regs[ops[2]])
+            elif op is Op.SUBI:
+                regs[ops[0]] = _v_sub(regs[ops[1]], int(ops[2]) & _MASK32)
+            elif op is Op.MUL:
+                regs[ops[0]] = self._mul(regs[ops[1]], regs[ops[2]])
+            elif op is Op.LSLI:
+                regs[ops[0]] = self._shift(regs[ops[1]], int(ops[2]), "shl")
+            elif op is Op.LSRI:
+                regs[ops[0]] = self._shift(regs[ops[1]], int(ops[2]), "shr")
+            elif op is Op.ASRI:
+                regs[ops[0]] = self._shift(regs[ops[1]], int(ops[2]), "sar")
+            elif op is Op.AND:
+                regs[ops[0]] = _v_bitop(
+                    self.dag, "and", regs[ops[1]], regs[ops[2]]
+                )
+            elif op is Op.ORR:
+                regs[ops[0]] = _v_bitop(
+                    self.dag, "or", regs[ops[1]], regs[ops[2]]
+                )
+            elif op is Op.EOR:
+                regs[ops[0]] = _v_bitop(
+                    self.dag, "xor", regs[ops[1]], regs[ops[2]]
+                )
+            elif op is Op.SUBSI:
+                lhs = regs[ops[1]]
+                rhs = int(ops[2])
+                regs[ops[0]] = _v_sub(lhs, rhs & _MASK32)
+                flags = (
+                    subtract_flags(_to_signed(lhs), rhs)
+                    if isinstance(lhs, int) else None
+                )
+            elif op is Op.CMP:
+                lhs, rhs = regs[ops[0]], regs[ops[1]]
+                flags = (
+                    subtract_flags(_to_signed(lhs), _to_signed(rhs))
+                    if isinstance(lhs, int) and isinstance(rhs, int)
+                    else None
+                )
+            elif op is Op.CMPI:
+                lhs = regs[ops[0]]
+                flags = (
+                    subtract_flags(_to_signed(lhs), int(ops[1]))
+                    if isinstance(lhs, int) else None
+                )
+            elif op in LOAD_OPS or op in STORE_OPS:
+                self._access(instr, regs, pc)
+            else:  # pragma: no cover - all opcodes handled above
+                raise _Decline(f"unhandled opcode {op!r}")
+            pc += 1
+
+        return self._finish(bc, tk, regs, executed)
+
+    # -- value helpers ----------------------------------------------------
+
+    def _mul(self, a, b):
+        if isinstance(a, int) and isinstance(b, int):
+            # Congruent with signed x signed mod 2**32.
+            return (a * b) & _MASK32
+        if isinstance(b, int):
+            return _v_scale(a, _srep(b))
+        if isinstance(a, int):
+            return _v_scale(b, _srep(a))
+        ra = _materialize(self.dag, a)
+        rb = _materialize(self.dag, b)
+        ra, rb = min(ra, rb), max(ra, rb)
+        return _of_node(self.dag.intern(("bin", "mul", ra, rb)))
+
+    def _shift(self, a, amount: int, kind: str):
+        if amount < 0:
+            raise _Decline(f"negative shift immediate {amount}")
+        if isinstance(a, int):
+            if kind == "shl":
+                return (a << amount) & _MASK32
+            if kind == "shr":
+                return a >> amount
+            return (_to_signed(a) >> amount) & _MASK32
+        if amount == 0:
+            return a
+        if kind == "shl":
+            return _v_scale(a, (1 << amount) & _MASK32)
+        if kind == "shr":
+            if amount >= 32:
+                return 0
+            ref = _materialize(self.dag, a)
+            return _of_node(self.dag.intern(("bin", "shr", ref, amount)))
+        # Arithmetic: shifting by >= 31 replicates the sign bit, so the
+        # emitted int32 shift clamps exactly.
+        ref = _materialize(self.dag, a)
+        return _of_node(
+            self.dag.intern(("bin", "sar", ref, min(amount, 31)))
+        )
+
+    # -- memory -----------------------------------------------------------
+
+    def _access(self, instr, regs: list, pc: int) -> None:
+        op = instr.op
+        ops = instr.operands
+        width = ACCESS_WIDTH[op]
+        offset = (
+            regs[ops[2]] if instr.offset_is_reg else int(ops[2]) & _MASK32
+        )
+        addr = _v_add(regs[ops[1]], offset)
+        if not isinstance(addr, int):
+            raise _Decline(
+                f"address at pc {pc} depends on input data"
+            )
+        region_index = None
+        for j, region in enumerate(self.regions):
+            if region.contains(addr, width):
+                region_index = j
+                break
+        if region_index is None:
+            raise _Decline(
+                f"unmapped {width}-byte access at 0x{addr:08x} "
+                f"(error path stays on tier 1)"
+            )
+        region = self.regions[region_index]
+        cell = addr - region.base
+        if op in LOAD_OPS:
+            counters = self.traffic[region_index]
+            counters[0] += 1
+            counters[1] += width
+            signed = op in SIGNED_LOADS
+            if not region.writable:
+                raw = bytes(region.data[cell:cell + width])
+                value = int.from_bytes(raw, "little", signed=signed)
+                regs[ops[0]] = value & _MASK32
+            else:
+                regs[ops[0]] = self._load_symbolic(
+                    region_index, cell, width, signed
+                )
+            return
+        if not region.writable:
+            raise _Decline(
+                f"store to read-only region {region.name!r} "
+                f"(error path stays on tier 1)"
+            )
+        counters = self.traffic[region_index]
+        counters[2] += 1
+        counters[3] += width
+        self._store_symbolic(region_index, cell, width, regs[ops[0]])
+
+    def _load_symbolic(self, j: int, off: int, width: int, signed: bool):
+        overlay = self.overlay[j]
+        cells = [overlay.get(off + i) for i in range(width)]
+        dag = self.dag
+        if all(cell is None for cell in cells):
+            for i in range(width):
+                self.rbw.add((j, off + i))
+            nid = dag.intern(("load", j, off, width))
+            if signed:
+                return _sex(dag, ("n", nid), width)
+            return _of_node(nid)
+        # Store-to-load forwarding: the span holds consecutive bytes of
+        # one previously stored node S.
+        if all(
+            isinstance(cell, tuple)
+            and dag.nodes[cell[1]][:1] == ("byte",)
+            and dag.nodes[cell[1]][2] == i
+            and dag.nodes[cell[1]][1] == dag.nodes[cells[0][1]][1]
+            for i, cell in enumerate(cells)
+        ):
+            source = dag.nodes[cells[0][1]][1]
+            if width == 4:
+                return _of_node(source)
+            masked = _v_bitop(
+                dag, "and", _of_node(source), (1 << (8 * width)) - 1
+            )
+            if signed:
+                return _sex(dag, _materialize(dag, masked), width)
+            return masked
+        # General recompose from mixed concrete/symbolic/initial bytes.
+        base = 0
+        terms: dict = {}
+        for i, cell in enumerate(cells):
+            shift = 8 * i
+            if cell is None:
+                self.rbw.add((j, off + i))
+                nid = dag.intern(("load", j, off + i, 1))
+            elif isinstance(cell, int):
+                base += cell << shift
+                continue
+            else:
+                nid = cell[1]
+            coef = _srep(terms.get(nid, 0) + (1 << shift))
+            if coef:
+                terms[nid] = coef
+        value = _mk(base, terms)
+        if signed:
+            # The recomposed value is < 2**(8*width): each byte term
+            # contributes at most 255 << (8*i), so no 32-bit wrap.
+            return _sex(dag, _materialize(dag, value), width)
+        return value
+
+    def _store_symbolic(self, j: int, off: int, width: int, value) -> None:
+        overlay = self.overlay[j]
+        for i in range(width):
+            self.dirty.add((j, off + i))
+        if not isinstance(value, int):
+            ref = _materialize(self.dag, value)
+            if ref[0] == "n":
+                source = ref[1]
+                for i in range(width):
+                    overlay[off + i] = (
+                        "n", self.dag.intern(("byte", source, i))
+                    )
+                return
+            value = ref[1]
+        masked = value & ((1 << (8 * width)) - 1)
+        for i in range(width):
+            overlay[off + i] = (masked >> (8 * i)) & 255
+
+    # -- emission ---------------------------------------------------------
+
+    def _finish(
+        self, bc: list, tk: list, regs: list, executed: int
+    ) -> SpecializedProgram:
+        base = self.base
+        dag = self.dag
+        reg_refs = [_materialize(dag, value) for value in regs]
+        writebacks: list[tuple[int, int, object]] = []
+        for j, overlay in enumerate(self.overlay):
+            for off in sorted(overlay):
+                writebacks.append((j, off, overlay[off]))
+
+        roots = [ref[1] for ref in reg_refs if ref[0] == "n"]
+        roots += [
+            cell[1]
+            for _, _, cell in writebacks
+            if isinstance(cell, tuple)
+        ]
+        reachable = self._reachable(roots)
+        fn, source = self._emit(reg_refs, writebacks, reachable)
+
+        cycles = sum(base.block_cycles(bc, tk))
+        return SpecializedProgram(
+            program=self.program,
+            base=base,
+            fn=fn,
+            source=source,
+            cycles=cycles,
+            instructions=executed,
+            block_counts=tuple(bc),
+            taken_counts=tuple(tk),
+            op_count_items=tuple(
+                sorted(
+                    base.fold_op_counts(bc).items(),
+                    key=lambda item: item[0].value,
+                )
+            ),
+            traffic=tuple(tuple(t) for t in self.traffic),
+            reads_before_write=frozenset(self.rbw),
+            dirty_cells=frozenset(self.dirty),
+        )
+
+    def _reachable(self, roots: list) -> set:
+        nodes = self.dag.nodes
+        seen: set = set()
+        stack = list(roots)
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            node = nodes[nid]
+            kind = node[0]
+            if kind in ("sex", "byte"):
+                stack.append(node[1])
+            elif kind == "bin":
+                for operand in (node[2], node[3]):
+                    if isinstance(operand, tuple) and operand[0] == "n":
+                        stack.append(operand[1])
+            elif kind == "aff":
+                stack.extend(nid for nid, _ in node[2])
+        return seen
+
+    def _emit(self, reg_refs, writebacks, reachable):
+        dag = self.dag
+        nodes = dag.nodes
+        consts: dict[str, np.ndarray] = {}
+
+        def const(array, dtype) -> str:
+            name = f"_K{len(consts)}"
+            consts[name] = np.asarray(array, dtype=dtype)
+            return name
+
+        positions = {}
+        for j, region in enumerate(self.regions):
+            if region.writable:
+                positions[j] = len(positions)
+
+        # Group reachable load atoms into per-(region, width) matrices.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for nid in sorted(reachable):
+            node = nodes[nid]
+            if node[0] == "load":
+                groups.setdefault((node[1], node[3]), []).append(nid)
+        column: dict[int, int] = {}
+        for key, members in groups.items():
+            members.sort(key=lambda nid: nodes[nid][2])
+            for col, nid in enumerate(members):
+                column[nid] = col
+        self._columns = column
+
+        lines = ["def _fastpath_v2(mats):"]
+
+        def emit(text: str) -> None:
+            lines.append("    " + text)
+
+        used_mats = sorted(
+            {positions[j] for j, _ in groups}
+            | {positions[j] for j, _, _ in writebacks}
+        )
+        for position in used_mats:
+            emit(f"m{position} = mats[{position}]")
+        for (j, width), members in sorted(groups.items()):
+            offsets = [nodes[nid][2] for nid in members]
+            parts = []
+            for byte_index in range(width):
+                name = const(
+                    [off + byte_index for off in offsets], np.intp
+                )
+                gather = f"m{positions[j]}[:, {name}].astype(_I64)"
+                if byte_index:
+                    gather = f"({gather} << {8 * byte_index})"
+                parts.append(gather)
+            emit(f"_L{j}_{width} = " + " | ".join(parts))
+
+        def load_expr(nid: int, as_i64: bool) -> str:
+            node = nodes[nid]
+            matrix = f"_L{node[1]}_{node[3]}[:, {column[nid]}]"
+            return matrix if as_i64 else f"{matrix}.astype(_U32)"
+
+        def uref(ref) -> str:
+            if ref[0] == "k":
+                return repr(ref[1])
+            return uexpr(ref[1])
+
+        def uexpr(nid: int) -> str:
+            if nodes[nid][0] == "load":
+                return load_expr(nid, as_i64=False)
+            return f"v{nid}"
+
+        for nid in sorted(reachable):
+            node = nodes[nid]
+            kind = node[0]
+            if kind == "load":
+                continue
+            if kind == "sex":
+                sign = 1 << (8 * node[2] - 1)
+                emit(f"v{nid} = ({uexpr(node[1])} ^ {sign}) - {sign}")
+            elif kind == "byte":
+                source = uexpr(node[1])
+                if node[2]:
+                    emit(f"v{nid} = ({source} >> {8 * node[2]}) & 255")
+                else:
+                    emit(f"v{nid} = {source} & 255")
+            elif kind == "bin":
+                opname = node[1]
+                if opname == "shr":
+                    emit(f"v{nid} = {uref(node[2])} >> {node[3]}")
+                elif opname == "sar":
+                    emit(
+                        f"v{nid} = (({uref(node[2])}).view(_I32) "
+                        f">> {node[3]}).view(_U32)"
+                    )
+                else:
+                    symbol = {
+                        "and": "&", "or": "|", "xor": "^", "mul": "*"
+                    }[opname]
+                    emit(
+                        f"v{nid} = {uref(node[2])} {symbol} {uref(node[3])}"
+                    )
+            else:  # aff
+                self._emit_affine(nid, node, emit, const, load_expr)
+
+        for j, off, cell in writebacks:
+            target = f"m{positions[j]}[:, {off}]"
+            if isinstance(cell, int):
+                emit(f"{target} = {cell}")
+            else:
+                emit(f"{target} = {uexpr(cell[1])}")
+
+        emit("return [" + ", ".join(uref(ref) for ref in reg_refs) + "]")
+
+        source = "\n".join(lines) + "\n"
+        namespace: dict = {
+            "_U32": np.uint32,
+            "_I32": np.int32,
+            "_I64": np.int64,
+            **consts,
+        }
+        code = compile(
+            source, f"<fastpath-v2:{self.program.name}>", "exec"
+        )
+        exec(code, namespace)  # noqa: S102 - our own generated source
+        return namespace["_fastpath_v2"], source
+
+    def _emit_affine(self, nid, node, emit, const, load_expr) -> None:
+        nodes = self.dag.nodes
+        base_const, terms = node[1], node[2]
+        by_group: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        scalar_parts: list[str] = []
+        for term_id, coef in terms:
+            term_node = nodes[term_id]
+            if term_node[0] == "load":
+                key = (term_node[1], term_node[3])
+                by_group.setdefault(key, []).append((term_id, coef))
+            else:
+                operand = f"v{term_id}.astype(_I64)"
+                scalar_parts.append(
+                    operand if coef == 1 else f"({coef}) * {operand}"
+                )
+        matmul_parts: list[str] = []
+        for (j, width), members in sorted(by_group.items()):
+            if len(members) >= _MATMUL_MIN:
+                columns = const(
+                    [
+                        # column index within the group matrix
+                        self._column_of(term_id)
+                        for term_id, _ in members
+                    ],
+                    np.intp,
+                )
+                coefs = const([c for _, c in members], np.int64)
+                matmul_parts.append(
+                    f"_L{j}_{width}[:, {columns}] @ {coefs}"
+                )
+            else:
+                for term_id, coef in members:
+                    operand = load_expr(term_id, as_i64=True)
+                    scalar_parts.append(
+                        operand if coef == 1 else f"({coef}) * {operand}"
+                    )
+        parts = matmul_parts + scalar_parts
+        if len(parts) <= _SUM_CHUNK:
+            total = " + ".join(parts)
+            if base_const:
+                total = f"{total} + {base_const}"
+            emit(f"v{nid} = (({total}) & 4294967295).astype(_U32)")
+            return
+        emit(f"_t = {' + '.join(parts[:_SUM_CHUNK])}")
+        for start in range(_SUM_CHUNK, len(parts), _SUM_CHUNK):
+            emit(f"_t = _t + ({' + '.join(parts[start:start + _SUM_CHUNK])})")
+        tail = f" + {base_const}" if base_const else ""
+        emit(f"v{nid} = ((_t{tail}) & 4294967295).astype(_U32)")
+
+    def _column_of(self, load_id: int) -> int:
+        # Filled lazily by _emit's grouping pass via closure state.
+        return self._columns[load_id]

@@ -108,6 +108,10 @@ LOAD_OPS = frozenset(
 STORE_OPS = frozenset({Op.STR, Op.STRH, Op.STRB})
 #: Conditional and unconditional branches.
 BRANCH_OPS = frozenset({Op.B, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BGT, Op.BLE})
+#: Flag-reading branches only — every branch except the unconditional
+#: ``B``.  The tier-2 specializer keys its flag-concreteness checks on
+#: this set.
+COND_BRANCH_OPS = frozenset(BRANCH_OPS - {Op.B})
 
 #: Byte width accessed by each memory opcode.
 ACCESS_WIDTH = {

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import DeviceBrownoutError, ExecutionError
 from repro.mcu.board import BoardProfile
 from repro.mcu.intermittent import IntermittentDeployment, PowerBudget
@@ -164,6 +166,70 @@ class SimulatedDevice:
         return DeviceExecution(
             label=label, cycles=cycles, start_ms=start, end_ms=self.clock_ms
         )
+
+    # -- batch fusion -----------------------------------------------------
+
+    @property
+    def supports_batch_fusion(self) -> bool:
+        """Whether :meth:`execute_fused` may serve this device's batches.
+
+        Fusion requires the replica's fused pipeline (``fastpath-v2``
+        with every layer specialized) and declines devices with
+        input-dependent timelines: fault injection and intermittent
+        power decide brown-outs per request mid-execution, which a
+        one-call batch cannot reproduce.
+        """
+        return (
+            self.injector is None
+            and self._intermittent is None
+            and self.deployed.supports_batch_fusion
+        )
+
+    @property
+    def fused_exec_ms(self) -> float:
+        """Per-request execute time on the fused path (input-independent)."""
+        return self.board.cycles_to_ms(
+            self.deployed.fused_cycles_per_inference
+        )
+
+    def validate_request(self, request: InferenceRequest) -> None:
+        """Raise ``InvalidInputError`` exactly where ``execute()`` would."""
+        self.deployed.validate_input(request.x)
+
+    def execute_fused(
+        self, requests: list[InferenceRequest]
+    ) -> list[DeviceExecution]:
+        """Serve pre-validated admitted requests in one fused call.
+
+        Simulated accounting is identical to ``len(requests)``
+        sequential :meth:`execute` calls — per-request start/end times,
+        busy time, and one ``execute`` span per request — because the
+        fused engine charges every row the same input-independent
+        cycles.  Only the host-side work is batched.  The device state
+        is untouched if the underlying call raises, so callers can fall
+        back to the per-request path.
+        """
+        rows = np.stack(
+            [self.deployed.validate_input(r.x) for r in requests]
+        )
+        result = self.deployed.infer_batch(rows)
+        exec_ms = self.board.cycles_to_ms(result.cycles_per_inference)
+        executions = []
+        for i, request in enumerate(requests):
+            start = max(self.clock_ms, request.earliest_start_ms)
+            self.clock_ms = start + exec_ms
+            self.busy_ms += exec_ms
+            self.completed += 1
+            self._emit("execute", start, self.clock_ms, request)
+            executions.append(
+                DeviceExecution(
+                    label=int(result.labels[i]),
+                    cycles=result.cycles_per_inference,
+                    start_ms=start,
+                    end_ms=self.clock_ms,
+                )
+            )
+        return executions
 
     def utilization(self, horizon_ms: float) -> float:
         """Busy fraction of the fleet-wide simulated horizon."""

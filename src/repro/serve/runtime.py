@@ -6,7 +6,9 @@
 requests enter through admission control into one shared policy-ordered
 queue; workers take batches, execute them cycle-exactly (on the fastpath
 translating engine by default — ``ServeConfig.engine`` selects the
-reference interpreter instead), and retry brown-outs on healthy devices
+reference interpreter, or ``"fastpath-v2"``, which serves each admitted
+batch in one content-specialized fused call with unchanged per-request
+accounting), and retry brown-outs on healthy devices
 with capped exponential backoff.  Every offered request ends in exactly one terminal
 outcome — completed, rejected, or failed — so the conservation law
 
@@ -82,7 +84,9 @@ class ServeConfig:
     power_budget: PowerBudget | None = None
     fault_plan: FaultPlan | None = None
     #: Execution engine for every device replica: ``"fastpath"`` (the
-    #: translating engine, default) or ``"interpreter"`` (reference CPU).
+    #: translating engine, default), ``"fastpath-v2"`` (content-
+    #: specialized + batch-fused dispatch), or ``"interpreter"``
+    #: (reference CPU).
     engine: str = DEFAULT_ENGINE
     #: Per-request span tracing (see :mod:`repro.serve.tracing`).  On by
     #: default — the collector is bounded, so long replays degrade to
@@ -312,8 +316,11 @@ class ServeRuntime:
                 )
                 self.metrics.counter("batches.dispatched").inc()
                 self.metrics.histogram("batch_size").observe(len(batch))
-                for request in batch:
-                    self._serve_one(device, request)
+                if device.supports_batch_fusion:
+                    self._serve_batch_fused(device, batch)
+                else:
+                    for request in batch:
+                        self._serve_one(device, request)
             finally:
                 self.queue.batch_done()
             self.metrics.gauge("queue.depth").set(self.queue.depth)
@@ -326,6 +333,77 @@ class ServeRuntime:
         # request cannot start before the device's clock.  Matches the
         # `start` the device computes in `execute()`.
         service_start = max(device.clock_ms, request.earliest_start_ms)
+        if not self._preflight(device, request, service_start):
+            return
+        self._execute_and_complete(device, request)
+
+    def _serve_batch_fused(
+        self, device: SimulatedDevice, batch: list[InferenceRequest]
+    ) -> None:
+        """Serve one batch through a single fused device call.
+
+        Preflight (deadline/queue-wait shedding, input validation) runs
+        first against a *simulated* clock: on the fused engine every
+        request's execute time is the same input-independent constant,
+        so each request's service start — and therefore every shedding
+        decision — is known before anything runs.  Spans, outcomes, and
+        device accounting come out identical to the per-request path;
+        only the host-side work is batched.
+        """
+        exec_ms = device.fused_exec_ms
+        clock = device.clock_ms
+        runnable: list[InferenceRequest] = []
+        for request in batch:
+            service_start = max(clock, request.earliest_start_ms)
+            if not self._preflight(device, request, service_start):
+                continue
+            try:
+                device.validate_request(request)
+            except InvalidInputError as exc:
+                # Mirrors the per-request handler: an invalid input
+                # fails terminally without advancing the device clock.
+                self._record(
+                    ServeOutcome(
+                        request_id=request.request_id,
+                        status=FAILED,
+                        device_id=device.device_id,
+                        attempts=request.attempts + 1,
+                        reason=f"invalid_input: {exc}",
+                    )
+                )
+                self._span(request, "failed", service_start,
+                           detail="invalid_input")
+                self.metrics.counter("requests.failed").inc()
+                continue
+            runnable.append(request)
+            clock = service_start + exec_ms
+        if not runnable:
+            return
+        try:
+            executions = device.execute_fused(runnable)
+        except ReproError:
+            # The fused call leaves no partial device state on failure,
+            # so the per-request path can serve the batch instead (and
+            # record the per-request errors conservation needs).
+            for request in runnable:
+                self._execute_and_complete(device, request)
+            return
+        self.metrics.counter("batches.fused").inc()
+        for request, execution in zip(runnable, executions):
+            self._complete(device, request, execution)
+
+    def _preflight(
+        self,
+        device: SimulatedDevice,
+        request: InferenceRequest,
+        service_start: float,
+    ) -> bool:
+        """Shedding decisions for one attempt; True when it should run.
+
+        ``service_start`` is where the attempt would begin serving —
+        callers on the fused path pass a simulated projection of the
+        device clock instead of its live value.
+        """
         # The attempt's queueing interval: eligible-to-run until service
         # start.  First attempts become eligible at arrival; retries at
         # the end of their backoff.
@@ -358,7 +436,7 @@ class ServeRuntime:
                            detail="deadline_after_retry")
                 self.metrics.counter("requests.failed").inc()
                 self.metrics.counter("failed.deadline_after_retry").inc()
-                return
+                return False
             # Shedding at dequeue: executing a request that already
             # missed its deadline wastes device time everyone else pays.
             self._record(
@@ -372,7 +450,7 @@ class ServeRuntime:
             self._span(request, "shed", service_start, detail="deadline")
             self.metrics.counter("requests.rejected").inc()
             self.metrics.counter("rejected.deadline").inc()
-            return
+            return False
         if (
             self.config.max_queue_wait_ms is not None
             and request.attempts == 0  # retries are never shed
@@ -392,8 +470,15 @@ class ServeRuntime:
                            detail="queue_wait")
                 self.metrics.counter("requests.rejected").inc()
                 self.metrics.counter("rejected.queue_wait").inc()
-                return
+                return False
         self._span(request, "queued", queued_from, service_start)
+        return True
+
+    def _execute_and_complete(
+        self, device: SimulatedDevice, request: InferenceRequest
+    ) -> None:
+        """One post-preflight attempt on the per-request device path."""
+        service_start = max(device.clock_ms, request.earliest_start_ms)
         try:
             execution = device.execute(request)
         except DeviceBrownoutError:
@@ -431,6 +516,15 @@ class ServeRuntime:
                        detail=type(exc).__name__)
             self.metrics.counter("requests.failed").inc()
             return
+        self._complete(device, request, execution)
+
+    def _complete(
+        self,
+        device: SimulatedDevice,
+        request: InferenceRequest,
+        execution,
+    ) -> None:
+        """Record one successful execution (per-request or fused path)."""
         latency = execution.end_ms - request.arrival_ms
         queue_wait = execution.start_ms - request.arrival_ms
         self._record(

@@ -150,3 +150,54 @@ def test_cluster_soak_overload_deploys_and_sanitizer(
 
     # -- zero lock nesting across every cluster/serve lock -------------
     assert cluster_sanitizer.violations == [], cluster_sanitizer.report()
+
+
+def test_cluster_soak_fused_engine(
+    base_artifact, cluster_registry, cluster_sanitizer, digits_small,
+):
+    """ISSUE-8: a cluster whose fleets run ``engine="fastpath-v2"``.
+
+    A flooded overload trace forces real batches on every fleet, so the
+    fused dispatch path (one vectorized device call per admitted batch)
+    carries the bulk of the load — and every cluster-scope invariant,
+    including per-request execute spans and ``busy_ms`` accounting
+    inside each generation, plus the strict lock sanitizer, must hold
+    exactly as on the per-request engine.
+    """
+    n_requests = max(120, N_REQUESTS // 3)
+    capacity = fleet_capacity_rps(base_artifact, 2)
+    trace = synthetic_trace(
+        n_requests, 3.0 * capacity, 64, seed=53,
+        inputs=digits_small.x_test,
+    )
+    cluster = Cluster(
+        base_artifact,
+        ClusterConfig(
+            n_fleets=2,
+            serve=ServeConfig(
+                n_devices=2, max_queue_depth=64, max_batch=16,
+                engine="fastpath-v2",
+            ),
+            router_policy="hash",
+            tick_ms=trace[-1].arrival_ms / 20.0,
+            signal_window_ms=max(2.0, trace[-1].arrival_ms / 4.0),
+        ),
+        registry=cluster_registry,
+    )
+    instrument_cluster(cluster, cluster_sanitizer)
+    cluster.start()
+    for request in trace:
+        cluster.submit(request)
+    cluster.drain()
+    report = cluster.report()
+
+    violations = verify_cluster_invariants(report, cluster.submitted_ids)
+    assert not violations, "\n".join(violations)
+    assert report.submitted == n_requests
+    assert report.conserved
+    fused_batches = sum(
+        g.report.metrics["counters"].get("batches.fused", 0)
+        for g in report.generations
+    )
+    assert fused_batches > 0, "flooded fleets should dispatch fused"
+    assert cluster_sanitizer.violations == [], cluster_sanitizer.report()

@@ -80,6 +80,14 @@ SCENARIOS = {
                     max_retries=2, max_queue_wait_ms=20.0,
                     fault_plan=FaultPlan(brownout_rate=0.25, seed=7)),
     ),
+    # ISSUE-8: fused batch dispatch on the tier-2 engine.  Overload
+    # builds real batches; the invariant checks below prove the fused
+    # path still stamps one execute span per request and keeps
+    # busy_ms == sum of span durations.
+    "fused_v2_overload": dict(
+        factor=1.5,
+        config=dict(n_devices=2, max_batch=16, engine="fastpath-v2"),
+    ),
 }
 
 
@@ -103,6 +111,8 @@ class TestSoakScenarios:
         report = runtime.replay(trace)
         assert report.offered == 120
         _assert_invariants(report)
+        if config.get("engine") == "fastpath-v2":
+            assert report.metrics["counters"].get("batches.fused", 0) > 0
 
     def test_multi_producer_overload_invariants(self, small_artifact,
                                                 digits_small,

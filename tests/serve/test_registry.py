@@ -86,16 +86,41 @@ class TestRefcountedEviction:
 
         registry = ModelRegistry()
         artifact = registry.register(small_trained.quantized)
-        # register() warms one translation per layer program.
-        before = translation_cache_stats()["entries"]
+        # register() warms one tier-1 translation per layer program.
+        # (Assert per tier: earlier tests may have left tier-2 entries
+        # for this model, which release() also drops — pinned by
+        # test_last_release_evicts_both_translation_tiers below.)
+        before = translation_cache_stats()["v1"]["entries"]
         assert registry.release(artifact.model_id) is True
         assert registry.refcount(artifact.model_id) == 0
         assert len(registry) == 0
         assert registry.evictions == 1
-        after = translation_cache_stats()["entries"]
+        after = translation_cache_stats()["v1"]["entries"]
         assert after == before - len(artifact.deployed.images)
         with pytest.raises(ConfigurationError):
             registry.get(artifact.model_id)
+
+    def test_last_release_evicts_both_translation_tiers(
+        self, small_trained
+    ):
+        """A v2-registered model warms tier-1 translations *and* tier-2
+        specializations; release() must drop both, or retired blue/green
+        replicas would pin specialized kernels forever."""
+        from repro.mcu.fastpath import translation_cache_stats
+
+        registry = ModelRegistry()
+        artifact = registry.register(
+            small_trained.quantized, engine="fastpath-v2"
+        )
+        layers = len(artifact.deployed.images)
+        before = translation_cache_stats()
+        assert before["v1"]["entries"] >= layers
+        assert before["v2"]["entries"] >= layers
+        assert registry.release(artifact.model_id) is True
+        after = translation_cache_stats()
+        assert after["v1"]["entries"] == before["v1"]["entries"] - layers
+        assert after["v2"]["entries"] == before["v2"]["entries"] - layers
+        assert after["entries"] == before["entries"] - 2 * layers
 
     def test_acquire_or_release_after_eviction_is_typed(
         self, small_trained
