@@ -4,9 +4,12 @@ from _output import emit
 
 from repro.mcu.board import (
     CORTEX_M4_REFERENCE,
+    CORTEX_M7_REFERENCE,
     MCU_CLASSES,
+    RISCV_RV32IMC,
     STM32F072RB,
     classify_board,
+    format_board_profile_table,
     format_mcu_class_table,
 )
 
@@ -15,6 +18,17 @@ def test_table1_mcu_classes(benchmark):
     text = benchmark(format_mcu_class_table)
     emit("table1_mcu_classes", text)
     assert [c.name for c in MCU_CLASSES] == ["Low", "Medium", "Advanced"]
-    # The paper's evaluation platform sits in the Low class.
+    # The paper's evaluation platform sits in the Low class; the board
+    # registry spans all three Table 1 classes (ISSUE 9).
     assert classify_board(STM32F072RB).name == "Low"
     assert classify_board(CORTEX_M4_REFERENCE).name == "Medium"
+    assert classify_board(CORTEX_M7_REFERENCE).name == "Advanced"
+    assert classify_board(RISCV_RV32IMC).name == "Low"
+
+
+def test_board_profile_table(benchmark):
+    text = benchmark(format_board_profile_table)
+    emit("board_profiles", text)
+    for name in ("STM32F072RB", "Kinetis-K64F",
+                 "STM32H747XI", "FE310-G002"):
+        assert name in text

@@ -97,18 +97,47 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_boards(args) -> int:
+    from repro.mcu.board import format_board_profile_table
+
+    print(format_board_profile_table())
+    return 0
+
+
 def _cmd_deploy(args) -> int:
     from repro.deploy.deployer import deploy
+    from repro.deploy.planner import DeploySLO, plan_deployment
     from repro.deploy.serialization import load_quantized_model
-    from repro.mcu.board import STM32F072RB
+    from repro.mcu.board import board_by_name
 
     model = load_quantized_model(args.model)
-    deployment = deploy(model, format_name=args.format)
+    if args.slo_latency_ms is not None or args.slo_flash_kb is not None:
+        # SLO mode: the planner searches every encoding on every
+        # reference profile and builds the winner.
+        plan = plan_deployment(
+            model,
+            DeploySLO(
+                max_latency_ms=args.slo_latency_ms,
+                max_flash_kb=args.slo_flash_kb,
+            ),
+        )
+        chosen = plan.chosen
+        print(f"SLO plan: encoding={chosen.format_name} "
+              f"engine={chosen.engine} board={chosen.board.name} "
+              f"({len(plan.feasible)}/{len(plan.considered)} candidates "
+              f"feasible)")
+        deployment = plan.deployment
+        board = chosen.board
+        format_name = chosen.format_name
+    else:
+        board = board_by_name(args.board)
+        format_name = args.format
+        deployment = deploy(model, format_name=format_name, board=board)
     report = deployment.program_memory
-    print(f"target: {STM32F072RB.name} ({STM32F072RB.core} @ "
-          f"{STM32F072RB.clock_hz // 10**6} MHz), encoding: {args.format}")
+    print(f"target: {board.name} ({board.core} @ "
+          f"{board.clock_hz // 10**6} MHz), encoding: {format_name}")
     print(f"program memory: {report.total_kb:.1f} KB "
-          f"(fits 128 KB flash: {report.fits(STM32F072RB)})")
+          f"(fits {board.flash_kb} KB flash: {report.fits(board)})")
     print(f"inference latency: {deployment.latency_ms:.2f} ms")
     if not deployment.deployable:
         print("model does NOT fit the board", file=sys.stderr)
@@ -136,7 +165,12 @@ def _cmd_verify(args) -> int:
     from repro.deploy.serialization import load_quantized_model
 
     model = load_quantized_model(args.model)
-    deployment = deploy(model, format_name=args.format, verify=False)
+    from repro.mcu.board import board_by_name
+
+    deployment = deploy(
+        model, format_name=args.format,
+        board=board_by_name(args.board), verify=False,
+    )
     if not deployment.deployable:
         print("model does NOT fit the board; nothing to verify",
               file=sys.stderr)
@@ -433,8 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    from repro.mcu.board import BOARD_PROFILES, STM32F072RB
+
+    board_names = tuple(BOARD_PROFILES)
+
     commands.add_parser("datasets", help="list the procedural datasets")
     commands.add_parser("zoo", help="list the pinned paper configurations")
+    commands.add_parser(
+        "boards", help="list the reference board profiles (Table 1 classes)"
+    )
 
     train = commands.add_parser("train", help="train + quantize a model")
     train.add_argument("--dataset", default="digits_like")
@@ -456,6 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--model", required=True)
     deploy.add_argument("--format", default="block",
                         choices=("csc", "delta", "mixed", "block"))
+    deploy.add_argument("--board", default=STM32F072RB.name,
+                        choices=board_names,
+                        help="target board profile (see `repro boards`)")
+    deploy.add_argument("--slo-latency-ms", type=float, default=None,
+                        help="plan mode: pick the best (encoding, engine, "
+                             "board) meeting this latency SLO")
+    deploy.add_argument("--slo-flash-kb", type=float, default=None,
+                        help="plan mode: cap the device flash budget (KB)")
     deploy.add_argument("--c-out", help="write a C inference engine here")
     deploy.add_argument("--firmware-out",
                         help="write a packed firmware image here")
@@ -492,6 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--model", required=True)
     verify.add_argument("--format", default="block",
                         choices=("csc", "delta", "mixed", "block"))
+    verify.add_argument("--board", default=STM32F072RB.name,
+                        choices=board_names,
+                        help="target board profile (see `repro boards`)")
 
     serve = commands.add_parser(
         "serve-bench",
@@ -608,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "datasets": _cmd_datasets,
     "zoo": _cmd_zoo,
+    "boards": _cmd_boards,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,

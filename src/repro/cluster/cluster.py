@@ -35,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.cluster.autoscaler import (
     SCALE_UP,
@@ -164,7 +164,7 @@ class Cluster:
 
     def __init__(
         self,
-        artifact: ModelArtifact,
+        artifact: ModelArtifact | Sequence[ModelArtifact],
         config: ClusterConfig | None = None,
         *,
         registry=None,
@@ -178,7 +178,17 @@ class Cluster:
             Autoscaler(self.config.autoscaler)
             if self.config.autoscaler is not None else None
         )
-        self._artifact = artifact      # model new fleets flash
+        # Models new fleets flash.  A single artifact builds a
+        # homogeneous cluster; a sequence builds a *heterogeneous* one —
+        # fleet i flashes artifacts[i % len] (e.g. the same model
+        # deployed on different board profiles behind one router, which
+        # then routes on each fleet's own per-board latency signals).
+        if isinstance(artifact, ModelArtifact):
+            self._artifacts: tuple[ModelArtifact, ...] = (artifact,)
+        else:
+            self._artifacts = tuple(artifact)
+            if not self._artifacts:
+                raise ServeError("cluster needs at least one artifact")
         self._lock = threading.Lock()
         self._fleets: list[Fleet] = []          # guarded_by: _lock
         self._retired_fleets: list[Fleet] = []  # guarded_by: _lock
@@ -222,7 +232,7 @@ class Cluster:
             self._next_fleet_id += 1
         fleet = Fleet(
             fleet_id,
-            self._artifact,
+            self._artifacts[fleet_id % len(self._artifacts)],
             self.config.serve,
             registry=self.registry,
             sanitizer=self._sanitizer,
@@ -319,7 +329,9 @@ class Cluster:
             self._deployer.tick(now_ms)
             if not self._deployer.active and self._deployer.state == DONE:
                 # Promotion: future fleets (scale-ups) flash the target.
-                self._artifact = self._deployer.target
+                # A rolling deploy re-homogenizes the cluster — every
+                # fleet now runs the target, so scale-ups must too.
+                self._artifacts = (self._deployer.target,)
             return                   # autoscaler frozen during deploys
         if self.autoscaler is None:
             return

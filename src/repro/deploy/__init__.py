@@ -9,6 +9,12 @@ from repro.deploy.artifact import (
 )
 from repro.deploy.cgen import generate_c_source
 from repro.deploy.deployer import Deployment, deploy
+from repro.deploy.planner import (
+    DeploymentPlan,
+    DeploySLO,
+    PlanCandidate,
+    plan_deployment,
+)
 from repro.deploy.firmware import (
     FirmwareImage,
     FirmwareInfo,
@@ -30,12 +36,16 @@ from repro.deploy.size import (
 
 __all__ = [
     "BatchInferenceResult",
+    "DeploySLO",
     "DeployedModel",
     "Deployment",
+    "DeploymentPlan",
     "FirmwareImage",
     "FirmwareInfo",
     "InferenceResult",
+    "PlanCandidate",
     "ProgramMemoryReport",
+    "plan_deployment",
     "STARTUP_TEXT_BYTES",
     "analytic_model_cycles",
     "analytic_model_latency_ms",

@@ -1,0 +1,227 @@
+"""SLO-driven deployment planning across encodings and board profiles.
+
+The paper's Figure 6 explores encodings on one board; this module closes
+the loop the ISSUE-9 tentpole asks for: given a quantized model and a
+latency and/or flash service-level objective, enumerate every candidate
+``(encoding, board)`` pair, price each analytically (operation counts
+through the board's cost table — exact, by the latency-agreement tests),
+and build the single best deployment.
+
+Objectives are lexicographic and deterministic:
+
+- a **latency** SLO constrains admission via the board's *ceiling*
+  cycle budget (``board.ms_to_cycles``) — a candidate is feasible only
+  when its exact cycle count fits the budget — and among feasible
+  candidates the planner picks the smallest device class (board flash
+  capacity as the cost proxy) that makes the deadline, then the
+  smallest program, then the fastest encoding;
+- a **flash** SLO caps the *device*: only boards with at most that much
+  flash (and programs fitting the cap) are admitted, and among fitting
+  candidates the planner picks the lowest latency; the same
+  latency-first objective applies when both SLOs are set, or neither.
+
+A tight-latency SLO therefore buys the fast, large board while a
+tight-flash SLO forces the small one — different ``(encoding, engine,
+board)`` tuples, the acceptance criterion of ISSUE 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.deploy.artifact import analytic_model_cycles
+from repro.deploy.deployer import Deployment, deploy
+from repro.deploy.size import model_program_memory
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.kernels.codegen_sparse import SPARSE_FORMATS
+from repro.mcu.board import BOARD_PROFILES, BoardProfile
+from repro.quantize.ptq import QuantizedModel
+
+
+@dataclass(frozen=True)
+class DeploySLO:
+    """Service-level objective for :func:`plan_deployment`.
+
+    Either bound may be ``None`` (unconstrained); at least one should be
+    set for the plan to mean anything, but an SLO-free plan is legal and
+    simply optimizes latency.
+    """
+
+    max_latency_ms: float | None = None
+    #: Flash capacity of the target device class, in KB: boards with more
+    #: flash than this are out of budget (cost/footprint proxy), and the
+    #: program itself must also fit under the cap.
+    max_flash_kb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ms is not None and self.max_latency_ms <= 0:
+            raise ConfigurationError("max_latency_ms must be positive")
+        if self.max_flash_kb is not None and self.max_flash_kb <= 0:
+            raise ConfigurationError("max_flash_kb must be positive")
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One priced ``(encoding, board)`` point of the plan space."""
+
+    format_name: str
+    board: BoardProfile
+    engine: str
+    block_size: int
+    cycles: int
+    latency_ms: float
+    flash_kb: float
+    feasible: bool
+    #: Why the candidate was rejected ("" when feasible).
+    reason: str
+
+    @property
+    def choice(self) -> tuple[str, str, str]:
+        """The ``(encoding, engine, board-name)`` identity tuple."""
+        return (self.format_name, self.engine, self.board.name)
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Outcome of :func:`plan_deployment`: winner + the full search table."""
+
+    slo: DeploySLO
+    chosen: PlanCandidate
+    deployment: Deployment
+    considered: tuple[PlanCandidate, ...]
+
+    @property
+    def feasible(self) -> tuple[PlanCandidate, ...]:
+        return tuple(c for c in self.considered if c.feasible)
+
+
+def _price(
+    quantized: QuantizedModel,
+    format_name: str,
+    board: BoardProfile,
+    block_size: int,
+    slo: DeploySLO,
+) -> PlanCandidate:
+    """Analytically price one candidate and apply the SLO admission."""
+    memory = model_program_memory(
+        quantized.specs, format_name=format_name, block_size=block_size
+    )
+    cycles = analytic_model_cycles(
+        quantized, format_name, board, block_size
+    )
+    latency_ms = board.cycles_to_ms(cycles)
+    flash_kb = memory.total_kb
+
+    reason = ""
+    if slo.max_flash_kb is not None and board.flash_kb > slo.max_flash_kb:
+        reason = (
+            f"{board.name} carries {board.flash_kb} KB flash, over the "
+            f"{slo.max_flash_kb:g} KB device budget"
+        )
+    elif not memory.fits(board):
+        reason = (
+            f"needs {flash_kb:.1f} KB flash, "
+            f"{board.name} has {board.flash_kb} KB"
+        )
+    elif slo.max_flash_kb is not None and flash_kb > slo.max_flash_kb:
+        reason = (
+            f"program memory {flash_kb:.1f} KB over the "
+            f"{slo.max_flash_kb:g} KB SLO"
+        )
+    elif slo.max_latency_ms is not None and cycles > board.ms_to_cycles(
+        slo.max_latency_ms
+    ):
+        # Admission goes through the ceiling cycle budget, never a float
+        # ms comparison: a request priced exactly at the deadline fits.
+        reason = (
+            f"{cycles} cycles over the "
+            f"{board.ms_to_cycles(slo.max_latency_ms)}-cycle budget "
+            f"({slo.max_latency_ms:g} ms on {board.name})"
+        )
+    return PlanCandidate(
+        format_name=format_name,
+        board=board,
+        engine=board.resolve_engine(),
+        block_size=block_size,
+        cycles=cycles,
+        latency_ms=latency_ms,
+        flash_kb=flash_kb,
+        feasible=reason == "",
+        reason=reason,
+    )
+
+
+def plan_deployment(
+    quantized: QuantizedModel,
+    slo: DeploySLO | None = None,
+    boards: Sequence[BoardProfile] | None = None,
+    formats: Sequence[str] = SPARSE_FORMATS,
+    block_size: int = 256,
+    verify: bool = True,
+) -> DeploymentPlan:
+    """Pick and build the best ``(encoding, engine, board)`` for an SLO.
+
+    Enumerates ``formats x boards`` (defaults: every sparse encoding on
+    every reference profile), prices each candidate analytically, applies
+    the SLO admission rules, ranks the feasible set by the lexicographic
+    objective described in the module docstring, and builds the winner
+    via :func:`~repro.deploy.deployer.deploy` with ``require_fit=True``.
+
+    Raises :class:`~repro.errors.BudgetExceededError` with the full
+    rejection table when no candidate satisfies the SLO.
+    """
+    slo = slo or DeploySLO()
+    board_list = tuple(
+        boards if boards is not None else BOARD_PROFILES.values()
+    )
+    if not board_list or not formats:
+        raise ConfigurationError("plan needs at least one board and format")
+
+    considered = tuple(
+        _price(quantized, fmt, board, block_size, slo)
+        for board in board_list
+        for fmt in formats
+    )
+    feasible = [c for c in considered if c.feasible]
+    if not feasible:
+        table = "; ".join(
+            f"{c.format_name}@{c.board.name}: {c.reason}"
+            for c in considered
+        )
+        raise BudgetExceededError(
+            f"no (encoding, board) candidate satisfies the SLO — {table}"
+        )
+
+    if slo.max_latency_ms is not None and slo.max_flash_kb is None:
+        # Latency-constrained: the smallest device class that makes the
+        # deadline, then the smallest program, then the fastest encoding.
+        def key(c: PlanCandidate):
+            return (
+                c.board.flash_kb, c.flash_kb, c.latency_ms,
+                c.board.name, c.format_name,
+            )
+    else:
+        # Flash-constrained (admission already filtered the device
+        # class), doubly-constrained, or unconstrained: be fast, then
+        # small; names break exact ties deterministically.
+        def key(c: PlanCandidate):
+            return (
+                c.latency_ms, c.flash_kb, c.board.name, c.format_name,
+            )
+    chosen = min(feasible, key=key)
+    deployment = deploy(
+        quantized,
+        format_name=chosen.format_name,
+        board=chosen.board,
+        block_size=chosen.block_size,
+        require_fit=True,
+        verify=verify,
+        engine=chosen.engine,
+    )
+    return DeploymentPlan(
+        slo=slo,
+        chosen=chosen,
+        deployment=deployment,
+        considered=considered,
+    )

@@ -7,12 +7,17 @@ deterministic cycle model preserves.
 """
 
 from repro.mcu.board import (
+    BOARD_PROFILES,
     CORTEX_M4_REFERENCE,
+    CORTEX_M7_REFERENCE,
     MCU_CLASSES,
+    RISCV_RV32IMC,
     STM32F072RB,
     BoardProfile,
     MCUClass,
+    board_by_name,
     classify_board,
+    format_board_profile_table,
     format_mcu_class_table,
 )
 from repro.mcu.cpu import CPU, CycleCosts, ExecutionResult
@@ -71,8 +76,10 @@ __all__ = [
     "Allocator",
     "BatchLatencyReport",
     "BlockProfile",
+    "BOARD_PROFILES",
     "BoardProfile",
     "CORTEX_M4_REFERENCE",
+    "CORTEX_M7_REFERENCE",
     "CPU",
     "CycleCosts",
     "DEFAULT_ENGINE",
@@ -88,13 +95,16 @@ __all__ = [
     "Profiler",
     "Program",
     "Reg",
+    "RISCV_RV32IMC",
     "Region",
     "STM32F072RB",
     "SpecializedProgram",
     "Tim2",
     "TranslatedProgram",
+    "board_by_name",
     "classify_board",
     "clear_translation_cache",
+    "format_board_profile_table",
     "format_mcu_class_table",
     "make_cpu",
     "translate",

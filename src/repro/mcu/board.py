@@ -1,18 +1,32 @@
 """Board profiles and the qualitative MCU classification of Table 1.
 
 A :class:`BoardProfile` bundles everything the rest of the library needs to
-know about a target: clock frequency, memory budgets, cycle-cost table, and
-how to convert cycles to milliseconds.  The default profile is the paper's
-evaluation platform, an STM32F072RB (Cortex-M0, 8 MHz, 16 KB RAM, 128 KB
-flash).
+know about a target: clock frequency, memory map (base addresses *and*
+budgets), cycle-cost table (including the flash wait-state model via
+``CycleCosts.fetch_extra``), capability flags, and how to convert cycles to
+milliseconds.  It is the single source of hardware truth: the interpreter,
+both fastpath translation tiers, the WCET verifier, the deployer, and the
+serving/cluster layers all consume the same profile, so two boards that
+differ in any of these fields are different targets everywhere at once.
+
+The default profile is the paper's evaluation platform, an STM32F072RB
+(Cortex-M0, 8 MHz, 16 KB RAM, 128 KB flash).  Three reference profiles sit
+beside it for cross-class comparisons: a Cortex-M4 (Table 1 "Medium"), a
+Cortex-M7 ("Advanced"), and a RISC-V RV32IMC-class part with a non-ARM
+memory map (flash at ``0x2000_0000``, RAM at ``0x8000_0000``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import ceil
 
+from repro.errors import ConfigurationError
 from repro.mcu.cpu import CycleCosts
-from repro.mcu.memory import MemoryMap
+from repro.mcu.memory import MemoryMap, Region
+
+#: Engine tiers a board may support, best (most specialized) first.
+_TIERED_ENGINES = ("fastpath-v2", "fastpath", "interpreter")
 
 
 @dataclass(frozen=True)
@@ -27,6 +41,32 @@ class BoardProfile:
     costs: CycleCosts = field(default_factory=CycleCosts)
     has_fpu: bool = False
     has_dsp: bool = False
+    #: Hardware multiplier (Cortex-M MULS, RISC-V "M" extension).  The
+    #: tier-2 batch-fused engine models its accumulator chains as
+    #: multiply-accumulate sweeps, so boards without a multiplier cap at
+    #: tier 1 (see :meth:`supported_engines`).
+    has_muls: bool = True
+    #: Memory-map bases.  ARM parts map flash at ``0x0800_0000`` and SRAM
+    #: at ``0x2000_0000``; other cores may differ (the RISC-V profile puts
+    #: its XIP flash window at ``0x2000_0000`` and RAM at ``0x8000_0000``).
+    flash_base: int = 0x0800_0000
+    ram_base: int = 0x2000_0000
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if self.flash_kb <= 0 or self.ram_kb <= 0:
+            raise ConfigurationError("flash/RAM budgets must be positive")
+        regions = sorted(
+            [
+                (self.flash_base, self.flash_base + self.flash_bytes),
+                (self.ram_base, self.ram_base + self.ram_bytes),
+            ]
+        )
+        if regions[0][1] > regions[1][0]:
+            raise ConfigurationError(
+                f"{self.name}: flash and RAM regions overlap"
+            )
 
     @property
     def flash_bytes(self) -> int:
@@ -41,11 +81,69 @@ class BoardProfile:
         return cycles / self.clock_hz * 1e3
 
     def ms_to_cycles(self, ms: float) -> int:
-        return round(ms / 1e3 * self.clock_hz)
+        """Cycle budget covering ``ms`` milliseconds — ceiling, not round.
+
+        Deadline budgets must never under-count: ``round()`` (banker's)
+        can round a final half-cycle down, and a planner or admission
+        check using that budget would shed a request that meets its
+        wall-clock deadline on hardware.  The small epsilon absorbs
+        float error so ``ms_to_cycles(cycles_to_ms(c)) == c`` exactly.
+        """
+        exact = ms * self.clock_hz / 1e3
+        return ceil(exact - 1e-9 - abs(exact) * 1e-12)
+
+    # -- capabilities -----------------------------------------------------
+
+    def supported_engines(self) -> tuple[str, ...]:
+        """Execution engines this board can host, best tier first.
+
+        Tier 2 (``fastpath-v2``) requires a hardware multiplier; tier 1
+        and the reference interpreter run everywhere.  Both remaining
+        engines stay bit-identical, so gating a tier never changes any
+        simulated number — only host-side speed.
+        """
+        if self.has_muls:
+            return _TIERED_ENGINES
+        return _TIERED_ENGINES[1:]
+
+    def resolve_engine(self, engine: str | None = None) -> str:
+        """Clamp ``engine`` to this board's best supported tier.
+
+        ``None`` picks the board's best tier at or below the library
+        default.  A requested tier the board cannot host degrades to the
+        next supported one (never upgrades: asking for the interpreter
+        always yields the interpreter).
+        """
+        from repro.mcu.fastpath import DEFAULT_ENGINE, ENGINES
+
+        requested = engine or DEFAULT_ENGINE
+        if requested not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {requested!r}; known: {ENGINES}"
+            )
+        supported = self.supported_engines()
+        if requested in supported:
+            return requested
+        # Degrade from the requested tier downward.
+        start = _TIERED_ENGINES.index(requested)
+        for candidate in _TIERED_ENGINES[start:]:
+            if candidate in supported:
+                return candidate
+        return "interpreter"
+
+    # -- factories --------------------------------------------------------
 
     def make_memory(self) -> MemoryMap:
-        """A fresh memory map with this board's flash/RAM budgets."""
-        return MemoryMap.stm32(flash_kb=self.flash_kb, ram_kb=self.ram_kb)
+        """A fresh memory map with this board's layout and budgets."""
+        return MemoryMap(
+            [
+                Region(
+                    "flash", self.flash_base, self.flash_bytes,
+                    writable=False,
+                ),
+                Region("ram", self.ram_base, self.ram_bytes, writable=True),
+            ]
+        )
 
     def make_cpu(
         self,
@@ -55,19 +153,22 @@ class BoardProfile:
     ):
         """An execution engine priced with this board's cost table.
 
-        ``engine`` is ``"fastpath"`` (translating engine, the default) or
-        ``"interpreter"`` (the reference :class:`~repro.mcu.cpu.CPU`);
-        see :mod:`repro.mcu.fastpath` for the exactness contract.
+        ``engine`` is ``"fastpath"`` (translating engine, the default),
+        ``"fastpath-v2"`` (content-specialized), or ``"interpreter"``
+        (the reference :class:`~repro.mcu.cpu.CPU`); see
+        :mod:`repro.mcu.fastpath` for the exactness contract.  A tier
+        the board's capability flags gate out degrades to the best
+        supported one (:meth:`resolve_engine`).
         """
         # Imported lazily: repro.analysis.report imports this module, and
         # the fastpath translator reaches back into repro.analysis.cfg.
-        from repro.mcu.fastpath import DEFAULT_ENGINE, make_cpu
+        from repro.mcu.fastpath import make_cpu
 
         return make_cpu(
             memory,
             costs=self.costs,
             max_instructions=max_instructions,
-            engine=engine or DEFAULT_ENGINE,
+            engine=self.resolve_engine(engine),
         )
 
 
@@ -93,6 +194,56 @@ CORTEX_M4_REFERENCE = BoardProfile(
     has_fpu=True,
     has_dsp=True,
 )
+
+#: A Cortex-M7-class board (Table 1's "Advanced" class): dual-issue core
+#: with a write buffer (stores retire in one cycle) but a longer pipeline
+#: (higher taken-branch penalty); caches hide the flash wait states.
+CORTEX_M7_REFERENCE = BoardProfile(
+    name="STM32H747XI",
+    core="Cortex-M7",
+    clock_hz=480_000_000,
+    flash_kb=2048,
+    ram_kb=1024,
+    costs=CycleCosts(store=1, branch_taken=4),
+    has_fpu=True,
+    has_dsp=True,
+)
+
+#: A RISC-V RV32IMC-class board (FE310-style): "M" extension multiplier is
+#: multi-cycle, short pipeline keeps the taken-branch penalty low, and the
+#: XIP flash window adds a fetch wait state.  Note the non-ARM memory map.
+RISCV_RV32IMC = BoardProfile(
+    name="FE310-G002",
+    core="RV32IMC",
+    clock_hz=150_000_000,
+    flash_kb=512,
+    ram_kb=64,
+    costs=CycleCosts(mul=5, branch_taken=2, fetch_extra=1),
+    flash_base=0x2000_0000,
+    ram_base=0x8000_0000,
+)
+
+#: Every reference profile, by name — the CLI's ``--board`` choices and the
+#: board-matrix benchmarks iterate this.
+BOARD_PROFILES: dict[str, BoardProfile] = {
+    profile.name: profile
+    for profile in (
+        STM32F072RB,
+        CORTEX_M4_REFERENCE,
+        CORTEX_M7_REFERENCE,
+        RISCV_RV32IMC,
+    )
+}
+
+
+def board_by_name(name: str) -> BoardProfile:
+    """Look up a reference profile; raises with the known names."""
+    try:
+        return BOARD_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown board {name!r}; known: {tuple(BOARD_PROFILES)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -149,6 +300,35 @@ def format_mcu_class_table() -> str:
         max(len(headers[i]), *(len(row[i]) for row in rows))
         for i in range(len(headers))
     ]
+    def fmt(row: tuple[str, ...]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_board_profile_table() -> str:
+    """The reference profiles, one row each, with their Table 1 class."""
+    headers = (
+        "Board", "Core", "Clock", "Flash", "RAM", "Engines", "Class",
+    )
+    rows = []
+    for profile in BOARD_PROFILES.values():
+        rows.append((
+            profile.name,
+            profile.core,
+            f"{profile.clock_hz / 1e6:g} MHz",
+            f"{profile.flash_kb} KB",
+            f"{profile.ram_kb} KB",
+            profile.supported_engines()[0],
+            classify_board(profile).name,
+        ))
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+
     def fmt(row: tuple[str, ...]) -> str:
         return " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
 

@@ -109,13 +109,15 @@ class IntermittentDeployment:
         The smallest layer+checkpoint unit must fit one charge, or the
         device can never make forward progress (the classic intermittent-
         computing non-termination hazard) — detected and reported.
+
+        The guard threshold is exactly :meth:`minimum_charge_cycles` (one
+        definition, not a re-derivation): it must include the restore
+        overhead, because every post-reboot charge only supplies
+        ``cycles_per_charge - RESTORE_OVERHEAD_CYCLES`` of useful work —
+        a guard on the bare layer+checkpoint unit would admit a charge
+        that then spins against the power-cycle limit.
         """
-        worst_unit = max(
-            layer + checkpoint
-            for layer, checkpoint in zip(
-                self._layer_costs, self._checkpoint_costs
-            )
-        ) + RESTORE_OVERHEAD_CYCLES
+        worst_unit = self.minimum_charge_cycles()
         if budget.cycles_per_charge < worst_unit:
             raise ExecutionError(
                 f"no forward progress possible: a charge supplies "

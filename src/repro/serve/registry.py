@@ -38,10 +38,24 @@ def content_hash(
     board: BoardProfile = STM32F072RB,
     block_size: int = 256,
 ) -> str:
-    """SHA-256 over the model's integer content + deployment parameters."""
+    """SHA-256 over the model's integer content + deployment parameters.
+
+    The board contribution covers the *full* profile — cost table, memory
+    budgets and bases, capability flags — not just name and clock.  Two
+    boards differing only in flash wait states (``CycleCosts.fetch_extra``)
+    or RAM budget are different latency models and must never dedupe to
+    one ``model_id``.
+    """
     digest = hashlib.sha256()
+    board_key = (
+        f"board={board.name};core={board.core};clock={board.clock_hz};"
+        f"flash={board.flash_kb}@{board.flash_base:#x};"
+        f"ram={board.ram_kb}@{board.ram_base:#x};"
+        f"costs={board.costs!r};"
+        f"fpu={board.has_fpu};dsp={board.has_dsp};muls={board.has_muls}"
+    )
     digest.update(
-        f"fmt={format_name};board={board.name};clock={board.clock_hz};"
+        f"fmt={format_name};{board_key};"
         f"block={block_size};in_scale={quantized.input_scale!r};"
         f"act={quantized.act_width}".encode()
     )

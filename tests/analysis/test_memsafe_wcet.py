@@ -16,6 +16,7 @@ from repro.kernels.codegen_dense import generate_dense
 from repro.kernels.codegen_sparse import SPARSE_FORMATS, generate_sparse
 from repro.kernels.codegen_unrolled import generate_dense_unrolled
 from repro.kernels.spec import make_dense_spec, make_neuroc_spec
+from repro.mcu.board import BOARD_PROFILES
 from repro.mcu.isa import Assembler, Reg
 from repro.mcu.memory import MemoryMap
 
@@ -232,3 +233,43 @@ class TestKernelTightness:
         assert report.wcet is not None
         for loop in report.wcet.loops:
             assert loop.idiom == "countdown"
+
+
+class TestKernelTightnessPerBoard:
+    """ISSUE-9: the static bound is exact on EVERY board profile.
+
+    Each board brings its own memory map (the RISC-V part moves both
+    the flash and RAM windows) and its own wait-state cost table; the
+    WCET discipline must price the same program against the board's
+    table and still land exactly on the measured cycle count.
+    """
+
+    @pytest.mark.parametrize(
+        "board", list(BOARD_PROFILES.values()), ids=list(BOARD_PROFILES)
+    )
+    @pytest.mark.parametrize("fmt", SPARSE_FORMATS)
+    def test_sparse_bound_is_exact_per_board(
+        self, fmt, board, ternary_spec, rng
+    ):
+        image = generate_sparse(
+            ternary_spec, fmt, memory=board.make_memory()
+        )
+        report = verify_kernel_image(image, board)
+        assert report.ok, report.format()
+        image.write_input(rng.integers(0, 2, 16).astype(np.int8))
+        measured = image.run(board).cycles
+        assert report.cycle_bound == measured
+
+    def test_bounds_track_the_cost_table(self, ternary_spec, rng):
+        """Distinct wait-state models produce distinct exact bounds."""
+        x = rng.integers(0, 2, 16).astype(np.int8)
+        bounds = {}
+        for board in BOARD_PROFILES.values():
+            image = generate_sparse(
+                ternary_spec, "block", memory=board.make_memory()
+            )
+            report = verify_kernel_image(image, board)
+            image.write_input(x)
+            assert report.cycle_bound == image.run(board).cycles
+            bounds[board.name] = report.cycle_bound
+        assert len(set(bounds.values())) > 1, bounds

@@ -1,0 +1,107 @@
+"""SLO-driven deployment planning (ISSUE-9 tentpole acceptance).
+
+The planner must demonstrably choose *different* (encoding, engine,
+board) tuples for tight-latency vs tight-flash SLOs, admit candidates
+through the ceiling cycle budget, and reject infeasible SLOs with the
+full search table.
+"""
+
+import pytest
+
+from repro.deploy import DeploySLO, plan_deployment
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.kernels.codegen_sparse import SPARSE_FORMATS
+from repro.mcu.board import BOARD_PROFILES, STM32F072RB
+
+
+class TestPlanSpace:
+    def test_considers_every_encoding_on_every_board(self, trained_neuroc):
+        plan = plan_deployment(trained_neuroc.quantized, verify=False)
+        assert len(plan.considered) == (
+            len(BOARD_PROFILES) * len(SPARSE_FORMATS)
+        )
+        seen = {c.choice for c in plan.considered}
+        assert len(seen) == len(plan.considered)
+
+    def test_candidates_are_priced_with_board_cost_tables(
+        self, trained_neuroc
+    ):
+        plan = plan_deployment(trained_neuroc.quantized, verify=False)
+        by_board = {}
+        for c in plan.considered:
+            by_board.setdefault(c.board.name, set()).add(c.cycles)
+        # Same program, different wait-state models: totals differ
+        # between the M0 and the M4 (fetch_extra=1) for every encoding.
+        assert by_board["STM32F072RB"].isdisjoint(by_board["Kinetis-K64F"])
+
+    def test_empty_plan_space_is_typed(self, trained_neuroc):
+        with pytest.raises(ConfigurationError):
+            plan_deployment(trained_neuroc.quantized, boards=[])
+        with pytest.raises(ConfigurationError):
+            DeploySLO(max_latency_ms=-1.0)
+
+
+class TestSLOObjectives:
+    def test_tight_latency_and_tight_flash_choose_differently(
+        self, trained_neuroc
+    ):
+        """The acceptance criterion: a tight deadline buys the fast
+        Cortex-M7; a tight flash budget forces the small M0."""
+        quantized = trained_neuroc.quantized
+        tight_latency = plan_deployment(
+            quantized, DeploySLO(max_latency_ms=0.05), verify=False
+        )
+        tight_flash = plan_deployment(
+            quantized, DeploySLO(max_flash_kb=STM32F072RB.flash_kb),
+            verify=False,
+        )
+        assert tight_latency.chosen.choice != tight_flash.chosen.choice
+        assert tight_latency.chosen.board.name == "STM32H747XI"
+        assert tight_flash.chosen.board.name == "STM32F072RB"
+
+    def test_loose_latency_slo_prefers_the_small_board(self, trained_neuroc):
+        # A deadline the 8 MHz M0 can make should not buy an M7.
+        plan = plan_deployment(
+            trained_neuroc.quantized, DeploySLO(max_latency_ms=5.0),
+            verify=False,
+        )
+        assert plan.chosen.board.name == "STM32F072RB"
+
+    def test_latency_admission_uses_the_ceiling_budget(self, trained_neuroc):
+        """ISSUE-9 satellite boundary: an SLO exactly equal to a
+        candidate's latency admits it — the ceiling budget covers the
+        final partial cycle that banker's rounding used to drop."""
+        probe = plan_deployment(trained_neuroc.quantized, verify=False)
+        fastest = min(probe.considered, key=lambda c: c.latency_ms)
+        exact = plan_deployment(
+            trained_neuroc.quantized,
+            DeploySLO(max_latency_ms=fastest.latency_ms),
+            verify=False,
+        )
+        assert exact.chosen.cycles == fastest.cycles
+        board = fastest.board
+        assert board.ms_to_cycles(fastest.latency_ms) >= fastest.cycles
+
+    def test_infeasible_slo_reports_the_rejection_table(
+        self, trained_neuroc
+    ):
+        with pytest.raises(BudgetExceededError, match="no .* candidate"):
+            plan_deployment(
+                trained_neuroc.quantized,
+                DeploySLO(max_latency_ms=1e-6),
+                verify=False,
+            )
+
+    def test_chosen_deployment_is_built_and_consistent(self, trained_neuroc):
+        plan = plan_deployment(
+            trained_neuroc.quantized, DeploySLO(max_latency_ms=5.0),
+            verify=False,
+        )
+        deployment = plan.deployment
+        assert deployment.deployable
+        assert deployment.board is plan.chosen.board
+        assert deployment.format_name == plan.chosen.format_name
+        assert deployment.model.engine == plan.chosen.engine
+        assert deployment.latency_ms == pytest.approx(
+            plan.chosen.latency_ms
+        )

@@ -1,0 +1,193 @@
+"""BoardProfile as the single source of hardware truth (ISSUE 9).
+
+Profile fields, parameterized memory maps (including the RISC-V non-ARM
+bases), ceiling deadline conversion, capability-gated engine tiers, and
+Table 1 classification of all four reference profiles.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcu.board import (
+    BOARD_PROFILES,
+    CORTEX_M4_REFERENCE,
+    CORTEX_M7_REFERENCE,
+    RISCV_RV32IMC,
+    STM32F072RB,
+    BoardProfile,
+    board_by_name,
+    classify_board,
+    format_board_profile_table,
+)
+
+ALL_BOARDS = tuple(BOARD_PROFILES.values())
+BOARD_IDS = tuple(BOARD_PROFILES)
+
+
+class TestProfiles:
+    def test_registry_covers_all_four_classes(self):
+        assert set(BOARD_PROFILES) == {
+            "STM32F072RB", "Kinetis-K64F", "STM32H747XI", "FE310-G002",
+        }
+        for name, board in BOARD_PROFILES.items():
+            assert board.name == name
+            assert board_by_name(name) is board
+
+    def test_unknown_board_is_typed(self):
+        with pytest.raises(ConfigurationError, match="unknown board"):
+            board_by_name("ESP32")
+
+    def test_classification_spans_table1(self):
+        assert classify_board(STM32F072RB).name == "Low"
+        assert classify_board(CORTEX_M4_REFERENCE).name == "Medium"
+        assert classify_board(CORTEX_M7_REFERENCE).name == "Advanced"
+        # No FPU/DSP puts the RISC-V part in Low despite its clock.
+        assert classify_board(RISCV_RV32IMC).name == "Low"
+
+    def test_cost_tables_are_distinct(self):
+        tables = {board.costs for board in ALL_BOARDS}
+        assert len(tables) == len(ALL_BOARDS)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            BoardProfile("bad", "x", 0, 128, 16)
+        with pytest.raises(ConfigurationError, match="positive"):
+            BoardProfile("bad", "x", 1_000_000, 128, 0)
+        with pytest.raises(ConfigurationError, match="overlap"):
+            BoardProfile(
+                "bad", "x", 1_000_000, 128, 16,
+                flash_base=0x1000_0000, ram_base=0x1000_8000,
+            )
+
+    def test_profile_table_renders_every_board(self):
+        table = format_board_profile_table()
+        for name in BOARD_PROFILES:
+            assert name in table
+        assert "Advanced" in table
+
+
+class TestMemoryMaps:
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=BOARD_IDS)
+    def test_map_follows_the_profile(self, board):
+        memory = board.make_memory()
+        flash = memory.region("flash")
+        ram = memory.region("ram")
+        assert flash.base == board.flash_base
+        assert flash.size == board.flash_kb * 1024
+        assert not flash.writable
+        assert ram.base == board.ram_base
+        assert ram.size == board.ram_kb * 1024
+        assert ram.writable
+
+    def test_riscv_map_is_not_the_arm_map(self):
+        memory = RISCV_RV32IMC.make_memory()
+        assert memory.region("flash").base == 0x2000_0000
+        assert memory.region("ram").base == 0x8000_0000
+        # The ARM RAM base lands inside the RISC-V *flash* window —
+        # a store there must fault, proving the map really moved.
+        from repro.errors import MemoryMapError
+
+        with pytest.raises(MemoryMapError):
+            memory.store(0x2000_0000, 4, 1)
+
+
+class TestDeadlineConversion:
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=BOARD_IDS)
+    def test_round_trip_is_exact(self, board):
+        for cycles in (1, 2, 3, 7, 1000, 999_983, 123_456_789):
+            assert board.ms_to_cycles(board.cycles_to_ms(cycles)) == cycles
+
+    def test_half_cycle_budget_rounds_up_not_to_even(self):
+        """ISSUE-9 satellite (pre-fix failing): banker's round() turns a
+        2.5-cycle deadline into a 2-cycle budget — under-admitting work
+        that meets the wall-clock deadline.  Ceiling gives 3."""
+        board = STM32F072RB          # 8 MHz: power-of-two, exact floats
+        ms = 2.5 / board.clock_hz * 1e3
+        assert round(2.5) == 2       # what the old conversion produced
+        assert board.ms_to_cycles(ms) == 3
+
+    def test_budget_always_covers_the_duration(self):
+        for board in ALL_BOARDS:
+            for cycles in (1, 9, 1234, 99_991):
+                for frac in (0.25, 0.5, 0.75):
+                    ms = board.cycles_to_ms(cycles) \
+                        + frac * board.cycles_to_ms(1)
+                    budget = board.ms_to_cycles(ms)
+                    assert board.cycles_to_ms(budget) >= ms - 1e-12, (
+                        board.name, cycles, frac,
+                    )
+
+
+class TestEngineGating:
+    def test_all_reference_boards_host_every_tier(self):
+        for board in ALL_BOARDS:
+            assert board.supported_engines() == (
+                "fastpath-v2", "fastpath", "interpreter"
+            )
+            assert board.resolve_engine("fastpath-v2") == "fastpath-v2"
+
+    def test_no_multiplier_caps_at_tier1(self):
+        soft_mul = BoardProfile(
+            "ATSAMD09", "Cortex-M0+", 48_000_000, 64, 8, has_muls=False
+        )
+        assert soft_mul.supported_engines() == ("fastpath", "interpreter")
+        assert soft_mul.resolve_engine("fastpath-v2") == "fastpath"
+        assert soft_mul.resolve_engine("fastpath") == "fastpath"
+        # Never upgrades: the interpreter stays the interpreter.
+        assert soft_mul.resolve_engine("interpreter") == "interpreter"
+
+    def test_unknown_engine_is_typed(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            STM32F072RB.resolve_engine("jit")
+
+    def test_gated_deployment_degrades_bit_identically(self, trained_neuroc):
+        from repro.deploy.artifact import DeployedModel
+
+        soft_mul = BoardProfile(
+            "ATSAMD09", "Cortex-M0+", 48_000_000, 128, 16, has_muls=False
+        )
+        gated = DeployedModel(
+            trained_neuroc.quantized, "block", board=soft_mul,
+            engine="fastpath-v2",
+        )
+        assert gated.engine == "fastpath"      # degraded, not rejected
+        reference = DeployedModel(
+            trained_neuroc.quantized, "block", board=soft_mul,
+            engine="interpreter",
+        )
+        import numpy as np
+
+        x = np.zeros(trained_neuroc.quantized.n_in)
+        a, b = gated.infer(x), reference.infer(x)
+        assert a.cycles == b.cycles
+        assert np.array_equal(a.logits, b.logits)
+
+
+class TestPerBoardDeployment:
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=BOARD_IDS)
+    def test_deploys_and_infers_on_every_board(
+        self, board, trained_neuroc, digits_small
+    ):
+        from repro.deploy.artifact import DeployedModel
+
+        deployed = DeployedModel(
+            trained_neuroc.quantized, "block", board=board
+        )
+        x = digits_small.x_test[0]
+        result = deployed.infer(x)
+        reference = trained_neuroc.quantized.predict(x[None, :])[0]
+        assert result.label == reference
+        assert result.latency_ms == pytest.approx(
+            board.cycles_to_ms(result.cycles)
+        )
+
+    def test_same_model_prices_differently_per_board(self, trained_neuroc):
+        from repro.deploy.artifact import analytic_model_cycles
+
+        cycles = {
+            board.name: analytic_model_cycles(
+                trained_neuroc.quantized, "block", board
+            )
+            for board in ALL_BOARDS
+        }
+        assert len(set(cycles.values())) > 1, cycles

@@ -10,6 +10,8 @@ exception exactness, translation caching, fallback, and per-block cycle
 attribution.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -18,7 +20,7 @@ from repro.errors import (
     ExecutionError,
     MemoryMapError,
 )
-from repro.mcu.board import STM32F072RB
+from repro.mcu.board import BOARD_PROFILES, STM32F072RB
 from repro.mcu.cpu import CPU, CycleCosts
 from repro.mcu.fastpath import (
     ENGINES,
@@ -26,6 +28,7 @@ from repro.mcu.fastpath import (
     clear_translation_cache,
     make_cpu,
     translate,
+    translate_v2,
     translation_cache_stats,
     why_declined,
 )
@@ -38,6 +41,13 @@ FLASH = 0x0800_0000
 #: Fuzzer working set in RAM bytes (all generated addresses stay inside).
 SCRATCH = 256
 
+#: Board the 220-seed fuzz runs against — CI matrixes over all four
+#: profiles via REPRO_FUZZ_BOARD; the default keeps tier-1 runs on the
+#: paper's M0 (byte-identical to the historical harness).
+FUZZ_BOARD = BOARD_PROFILES[
+    os.environ.get("REPRO_FUZZ_BOARD", STM32F072RB.name)
+]
+
 #: 32-bit boundary constants the fuzzer seeds registers/immediates with.
 BOUNDARY = (
     0, 1, 2, -1, -2, 255, -128, 0x7FFF_FFFF, -(1 << 31), 0x8000_0000,
@@ -45,12 +55,22 @@ BOUNDARY = (
 )
 
 
-def run_both(program, registers=None, costs=None, ram_image=None):
-    """Run on both engines with identical initial state; compare all."""
+def run_both(program, registers=None, costs=None, ram_image=None,
+             board=None):
+    """Run on every engine with identical initial state; compare all.
+
+    With ``board`` the program runs against that profile's memory map
+    and (unless ``costs`` overrides it) cost table — the per-board
+    exactness contract.  Default: the historical STM32 harness.
+    """
+    if board is not None and costs is None:
+        costs = board.costs
     results = {}
     memories = {}
     for engine in ENGINES:
-        memory = MemoryMap.stm32()
+        memory = (
+            board.make_memory() if board is not None else MemoryMap.stm32()
+        )
         if ram_image is not None:
             memory.region("ram").data[: len(ram_image)] = ram_image
         cpu = make_cpu(memory, costs=costs, engine=engine)
@@ -62,19 +82,23 @@ def run_both(program, registers=None, costs=None, ram_image=None):
                 f"{why_declined(program, memory, costs)}"
             )
         memories[engine] = memory
-    fast, ref = results["fastpath"], results["interpreter"]
-    assert fast.cycles == ref.cycles
-    assert fast.instructions == ref.instructions
-    assert fast.registers == ref.registers
-    assert fast.op_counts == ref.op_counts
-    for region_ref, region_fast in zip(
-        memories["interpreter"].regions, memories["fastpath"].regions
-    ):
-        assert bytes(region_fast.data) == bytes(region_ref.data)
-        assert region_fast.loads == region_ref.loads
-        assert region_fast.stores == region_ref.stores
-        assert region_fast.bytes_loaded == region_ref.bytes_loaded
-        assert region_fast.bytes_stored == region_ref.bytes_stored
+    ref = results["interpreter"]
+    for engine in ENGINES:
+        if engine == "interpreter":
+            continue
+        fast = results[engine]
+        assert fast.cycles == ref.cycles, engine
+        assert fast.instructions == ref.instructions, engine
+        assert fast.registers == ref.registers, engine
+        assert fast.op_counts == ref.op_counts, engine
+        for region_ref, region_fast in zip(
+            memories["interpreter"].regions, memories[engine].regions
+        ):
+            assert bytes(region_fast.data) == bytes(region_ref.data)
+            assert region_fast.loads == region_ref.loads
+            assert region_fast.stores == region_ref.stores
+            assert region_fast.bytes_loaded == region_ref.bytes_loaded
+            assert region_fast.bytes_stored == region_ref.bytes_stored
     return ref
 
 
@@ -133,8 +157,13 @@ def _emit_random_op(asm, rng, label_maker):
         getattr(asm, name)(rd, PTR, OFFSET)
 
 
-def _random_program(seed):
-    """A random, guaranteed-terminating program exercising the full ISA."""
+def _random_program(seed, ram_base=RAM):
+    """A random, guaranteed-terminating program exercising the full ISA.
+
+    ``ram_base`` is baked into the generated code (the scratch pointer
+    is a MOVI immediate), so per-board fuzzing regenerates programs
+    against each board's own RAM base.
+    """
     rng = np.random.default_rng(seed)
     asm = Assembler(f"fuzz-{seed}")
     labels = iter(range(1000))
@@ -142,7 +171,7 @@ def _random_program(seed):
     def label_maker():
         return f"L{next(labels)}"
 
-    asm.movi(PTR, RAM)
+    asm.movi(PTR, ram_base)
     for segment in range(int(rng.integers(2, 5))):
         kind = rng.integers(0, 4)
         if kind == 0:      # count-down loop, 1..4 iterations
@@ -195,14 +224,20 @@ def _random_state(seed):
 
 
 class TestFuzzDifferential:
-    """ISSUE 3 acceptance: >= 200 seeded random programs, bit-exact."""
+    """ISSUE 3 acceptance: >= 200 seeded random programs, bit-exact.
+
+    Runs against ``FUZZ_BOARD`` (REPRO_FUZZ_BOARD, default the M0):
+    programs are regenerated against the board's RAM base and executed
+    with the board's cost table, so CI can sweep all four profiles.
+    """
 
     @pytest.mark.parametrize("seed", range(220))
     def test_random_program_bit_exact(self, seed):
-        program = _random_program(seed)
+        program = _random_program(seed, FUZZ_BOARD.ram_base)
         registers, ram_image, costs = _random_state(seed)
         run_both(
-            program, registers=registers, costs=costs, ram_image=ram_image
+            program, registers=registers, costs=costs,
+            ram_image=ram_image, board=FUZZ_BOARD,
         )
 
     def test_fuzzer_reaches_every_opcode(self):
@@ -211,6 +246,39 @@ class TestFuzzDifferential:
             for instr in _random_program(seed).instructions:
                 seen.add(instr.op)
         assert seen == set(Op), f"missing: {set(Op) - seen}"
+
+
+class TestCrossBoardExactness:
+    """Tentpole acceptance: the engine-agreement contract holds on every
+    board profile — non-ARM memory bases, wait states, slow multipliers
+    and all.  A tier-1-sized subset of the fuzz seeds; CI runs the full
+    220 per board via REPRO_FUZZ_BOARD."""
+
+    @pytest.mark.parametrize(
+        "board", BOARD_PROFILES.values(), ids=tuple(BOARD_PROFILES)
+    )
+    @pytest.mark.parametrize("seed", range(0, 60, 4))
+    def test_every_board_bit_exact(self, board, seed):
+        program = _random_program(seed, board.ram_base)
+        registers, ram_image, _ = _random_state(seed)
+        run_both(
+            program, registers=registers, ram_image=ram_image, board=board
+        )
+
+    def test_cost_tables_actually_differ_across_boards(self):
+        # The same program must be priced differently per board — the
+        # signal the heterogeneous router runs on.
+        program = _random_program(3, RAM)
+        registers, ram_image, _ = _random_state(3)
+        cycles = {
+            name: run_both(
+                program, registers=registers, ram_image=ram_image,
+                board=board,
+            ).cycles
+            for name, board in BOARD_PROFILES.items()
+            if board.ram_base == RAM
+        }
+        assert len(set(cycles.values())) > 1, cycles
 
 
 class TestExceptionExactness:
@@ -393,6 +461,48 @@ class TestTranslationCache:
         wait_states = translate(program, memory, CycleCosts(fetch_extra=1))
         assert default is not wait_states
         assert default.block_cost_not != wait_states.block_cost_not
+
+    def test_cost_tables_distinct_entries_in_both_tiers(self):
+        """ISSUE-9 satellite: one program under two cost tables must
+        yield distinct v1 AND v2 cache entries, each with that board's
+        exact cycle total — a heterogeneous fleet's shared cache can
+        never cross-serve a stale entry between board classes."""
+        clear_translation_cache()
+        asm = Assembler("per-board")
+        asm.movi(Reg.R0, 5)
+        asm.movi(Reg.R1, 7)
+        asm.mul(Reg.R2, Reg.R0, Reg.R1)
+        asm.addi(Reg.R2, Reg.R2, 1)
+        asm.halt()
+        program = asm.assemble()
+        m0_costs = STM32F072RB.costs
+        riscv_costs = BOARD_PROFILES["FE310-G002"].costs
+
+        memory = MemoryMap.stm32()
+        v1_m0 = translate(program, memory, m0_costs)
+        v1_rv = translate(program, memory, riscv_costs)
+        assert v1_m0 is not None and v1_rv is not None
+        assert v1_m0 is not v1_rv
+        v2_m0 = translate_v2(program, memory, m0_costs)
+        v2_rv = translate_v2(program, memory, riscv_costs)
+        assert v2_m0 is not None and v2_rv is not None
+        assert v2_m0 is not v2_rv
+
+        stats = translation_cache_stats()
+        assert stats["v1"]["entries"] == 2
+        assert stats["v2"]["entries"] == 2
+
+        # Each entry carries its own board's exact total: the slow
+        # RISC-V multiplier and flash wait states price the same five
+        # instructions higher, and both tiers agree with the
+        # interpreter under each table.
+        assert v2_m0.cycles != v2_rv.cycles
+        for costs, sp in ((m0_costs, v2_m0), (riscv_costs, v2_rv)):
+            ref = make_cpu(
+                MemoryMap.stm32(), costs=costs, engine="interpreter"
+            ).run(program)
+            assert sp.cycles == ref.cycles
+            run_both(program, costs=costs)
 
     def test_offset_is_reg_distinguishes_programs(self):
         # Same operand tuple shapes, different addressing mode: the cache

@@ -66,3 +66,61 @@ class TestIntermittentExecution:
     def test_invalid_budget(self):
         with pytest.raises(ConfigurationError):
             PowerBudget(0)
+
+
+class TestForwardProgressBoundary:
+    """ISSUE-9 satellite: the guard threshold IS minimum_charge_cycles().
+
+    Every post-reboot charge only supplies ``cycles_per_charge -
+    RESTORE_OVERHEAD_CYCLES`` of useful work, so the admission guard must
+    include the restore overhead — a guard on the bare layer+checkpoint
+    unit would admit a charge that then spins against the power-cycle
+    limit with a misleading error.  These tests pin the exact boundary
+    on both sides so the guard and ``minimum_charge_cycles()`` can never
+    drift apart again.
+    """
+
+    def test_exact_minimum_charge_completes(self, deployment, digits_small):
+        minimum = deployment.minimum_charge_cycles()
+        run = deployment.run(digits_small.x_test[1], PowerBudget(minimum))
+        assert run.completed
+        # Progress every charge: each reboot's usable window (minimum
+        # minus restore) covers the worst layer+checkpoint unit, so the
+        # run can never need more charges than units of work.
+        assert run.power_cycles_used <= len(
+            deployment.deployed.quantized.specs
+        ) + 1
+
+    def test_one_cycle_below_minimum_raises_immediately_not_a_spin(
+        self, deployment, digits_small
+    ):
+        from repro.mcu.intermittent import RESTORE_OVERHEAD_CYCLES
+
+        minimum = deployment.minimum_charge_cycles()
+        # Anywhere in (bare unit, minimum): enough for the largest unit
+        # on the *first* charge, not after a restore — the starvation
+        # hazard the guard exists for.  It must be the typed
+        # forward-progress error, never the power-cycle-limit error a
+        # spin would eventually hit.
+        for charge in (minimum - 1, minimum - RESTORE_OVERHEAD_CYCLES + 1):
+            with pytest.raises(ExecutionError, match="forward progress"):
+                deployment.run(
+                    digits_small.x_test[1], PowerBudget(charge)
+                )
+
+    def test_guard_threshold_includes_restore_overhead(self, deployment):
+        from repro.mcu.intermittent import (
+            CHECKPOINT_CYCLES_PER_BYTE,
+            RESTORE_OVERHEAD_CYCLES,
+        )
+
+        worst_bare = max(
+            layer + checkpoint
+            for layer, checkpoint in zip(
+                deployment._layer_costs, deployment._checkpoint_costs
+            )
+        )
+        assert deployment.minimum_charge_cycles() == (
+            worst_bare + RESTORE_OVERHEAD_CYCLES
+        )
+        assert CHECKPOINT_CYCLES_PER_BYTE > 0

@@ -25,6 +25,63 @@ class TestContentHash:
         assert content_hash(small_trained.quantized) != \
             content_hash(trained_neuroc.quantized)
 
+    def test_board_identity_is_the_full_profile(self, small_trained):
+        """ISSUE-9 satellite (pre-fix failing): two boards sharing a
+        name and clock but differing in wait states, memory budget, or
+        capability flags are different latency models and must never
+        collide to one model_id."""
+        from dataclasses import replace
+
+        from repro.mcu import STM32F072RB, CycleCosts
+
+        quantized = small_trained.quantized
+        base = content_hash(quantized, board=STM32F072RB)
+        wait_states = replace(
+            STM32F072RB, costs=CycleCosts(fetch_extra=1)
+        )
+        assert content_hash(quantized, board=wait_states) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, flash_kb=256)
+        ) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, ram_kb=32)
+        ) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, has_fpu=True)
+        ) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, has_dsp=True)
+        ) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, has_muls=False)
+        ) != base
+        assert content_hash(
+            quantized, board=replace(STM32F072RB, ram_base=0x8000_0000)
+        ) != base
+
+    def test_registering_on_two_cost_tables_yields_two_artifacts(
+        self, small_trained
+    ):
+        """End-to-end: the registry serves distinct artifacts (and so
+        distinct per-board latency models) for wait-state variants."""
+        from dataclasses import replace
+
+        from repro.mcu import STM32F072RB, CycleCosts
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry()
+        m0 = registry.register(small_trained.quantized)
+        slow_flash = registry.register(
+            small_trained.quantized,
+            board=replace(
+                STM32F072RB, name=STM32F072RB.name,
+                costs=CycleCosts(fetch_extra=1),
+            ),
+        )
+        assert m0.model_id != slow_flash.model_id
+        assert len(registry) == 2
+        assert slow_flash.deployment.latency_ms > m0.deployment.latency_ms
+
 
 class TestRegistryCache:
     def test_identical_content_never_recodegens(self, small_trained):
