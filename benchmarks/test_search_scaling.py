@@ -1,0 +1,166 @@
+"""Staged search vs flat full-fidelity baseline, and --jobs scaling.
+
+Extends the old autosearch Pareto bench into the ISSUE-10 acceptance
+run.  Two claims are measured on every run:
+
+1. **Frontier quality per QAT unit.**  The staged sweep screens a large
+   candidate pool analytically, proxies it with short-budget PTQ, and
+   spends full QAT only on the promoted few.  The flat baseline trains
+   a *prefix* of the same pool (sampling is prefix-stable) at full
+   fidelity.  The staged frontier's dominated hypervolume must be at
+   least the flat baseline's while running strictly fewer full-QAT
+   units.
+2. **Parallel determinism + scaling.**  The same cold sweep at jobs=1
+   and jobs=4 must serialize byte-identically; on machines with enough
+   cores the parallel run must beat a wall-clock speedup floor.
+
+Results land in ``benchmarks/results/search_pareto.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from _output import RESULTS_DIR, emit
+
+from repro.experiments import runner
+from repro.experiments.cache import clear_memory_cache
+from repro.experiments.tables import format_table
+from repro.search import (
+    SearchSettings,
+    hypervolume,
+    reference_point,
+    run_search,
+)
+
+BOARD = "STM32F072RB"
+#: The staged sweep explores this many candidates...
+STAGED_COUNT = 16
+#: ...while the flat baseline fully trains the pool's first prefix —
+#: sized so the staged sweep still performs strictly fewer QAT units.
+FLAT_COUNT = 6
+COMMON = dict(
+    dataset="digits_like", n_train=600, n_test=200,
+    boards=(BOARD,), seed=0, stage2_epochs=3, qat_epochs=8, lr=0.01,
+    promote_fraction=0.25, min_promote=2,
+)
+
+#: Scaling-run shape (small: two cold sweeps run back to back).
+SCALING_COUNT = 8
+PARALLEL_JOBS = 4
+SPEEDUP_FLOOR = 1.6
+
+
+def _sweep(tmp_path, monkeypatch, tag, jobs=1, **overrides):
+    """One sweep in a fresh cache directory, timed via the registry."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / f"cache-{tag}"))
+    clear_memory_cache()
+    params = dict(COMMON)
+    params.update(overrides)
+    before = len(runner.runs())
+    report = run_search(SearchSettings(**params), jobs=jobs)
+    wall = sum(
+        run.wall_seconds for run in runner.runs()[before:]
+    )
+    return report, wall
+
+
+def test_staged_beats_flat_per_qat_unit(tmp_path, monkeypatch):
+    staged, staged_wall = _sweep(
+        tmp_path, monkeypatch, "staged", count=STAGED_COUNT,
+        mode="staged",
+    )
+    flat, flat_wall = _sweep(
+        tmp_path, monkeypatch, "flat", count=FLAT_COUNT, mode="flat",
+    )
+
+    staged_frontier = staged.funnels[BOARD].frontier
+    flat_frontier = flat.funnels[BOARD].frontier
+    ref = reference_point(staged_frontier, flat_frontier)
+    staged_hv = hypervolume(staged_frontier, ref)
+    flat_hv = hypervolume(flat_frontier, ref)
+
+    rows = [
+        (
+            mode,
+            report.count,
+            report.stage2_units,
+            report.qat_units,
+            len(frontier),
+            f"{hv:.3g}",
+            f"{wall:.2f}",
+        )
+        for mode, report, frontier, hv, wall in (
+            ("staged", staged, staged_frontier, staged_hv, staged_wall),
+            ("flat", flat, flat_frontier, flat_hv, flat_wall),
+        )
+    ]
+    emit(
+        "search_scaling",
+        format_table(
+            ("mode", "pool", "proxy units", "QAT units", "frontier",
+             "hypervolume", "train s"),
+            rows,
+            title=f"Staged vs flat search on digits_like ({BOARD})",
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "search_pareto.json").write_text(json.dumps(
+        {
+            "board": BOARD,
+            "reference_point": list(ref),
+            "staged": {
+                "pool": staged.count,
+                "stage2_units": staged.stage2_units,
+                "qat_units": staged.qat_units,
+                "hypervolume": staged_hv,
+                "train_seconds": round(staged_wall, 3),
+                "frontier": [p.to_dict() for p in staged_frontier],
+            },
+            "flat": {
+                "pool": flat.count,
+                "qat_units": flat.qat_units,
+                "hypervolume": flat_hv,
+                "train_seconds": round(flat_wall, 3),
+                "frontier": [p.to_dict() for p in flat_frontier],
+            },
+        },
+        indent=1, sort_keys=True,
+    ) + "\n")
+
+    # The acceptance criterion: at least flat's frontier quality from
+    # strictly fewer full-fidelity trainings.
+    assert staged.qat_units < flat.qat_units
+    assert staged_hv >= flat_hv
+    assert staged_frontier and flat_frontier
+
+
+def test_jobs_scaling_is_deterministic(tmp_path, monkeypatch):
+    sequential, seq_wall = _sweep(
+        tmp_path, monkeypatch, "jobs1", jobs=1, count=SCALING_COUNT,
+    )
+    parallel, par_wall = _sweep(
+        tmp_path, monkeypatch, "jobs4", jobs=PARALLEL_JOBS,
+        count=SCALING_COUNT,
+    )
+
+    # Byte-identical artifacts at any --jobs: the tentpole contract.
+    assert parallel.to_json() == sequential.to_json()
+
+    cores = os.cpu_count() or 1
+    speedup = seq_wall / max(par_wall, 1e-9)
+    emit(
+        "search_jobs_scaling",
+        "\n".join([
+            f"Cold staged search ({SCALING_COUNT} candidates): "
+            f"jobs=1 vs jobs={PARALLEL_JOBS} ({cores} cores)",
+            f"  jobs=1: {seq_wall:.2f} s training wall",
+            f"  jobs={PARALLEL_JOBS}: {par_wall:.2f} s training wall",
+            f"  speedup: x{speedup:.2f}"
+            + ("" if cores >= PARALLEL_JOBS else
+               f"  (floor not enforced on {cores} core(s))"),
+        ]),
+    )
+    if cores >= PARALLEL_JOBS:
+        assert speedup >= SPEEDUP_FLOOR

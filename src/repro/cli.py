@@ -13,6 +13,9 @@ The paper's workflow as shell commands::
     python -m repro serve-bench --model model.npz --devices 4 \
         --requests 1000 --rate 2000
     python -m repro report --jobs 4
+    python -m repro search --boards STM32F072RB Kinetis-K64F \
+        --count 24 --jobs 4 --out frontier.json
+    python -m repro cache-prune --stale-schemas
     python -m repro zoo
 
 Every command prints human-readable results to stdout and exits non-zero
@@ -442,6 +445,92 @@ def _cmd_lint_concurrency(args) -> int:
     return 0
 
 
+def _cmd_search(args) -> int:
+    """Staged multi-fidelity architecture search over board profiles."""
+    import os
+
+    from repro.experiments import runner
+    from repro.search import SearchSettings, run_search
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    jobs = runner.resolve_jobs()
+    runner.reset_timings()
+    settings = SearchSettings(
+        dataset=args.dataset,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        boards=tuple(args.boards),
+        count=args.count,
+        seed=args.seed,
+        stage2_epochs=args.stage2_epochs,
+        qat_epochs=args.epochs,
+        lr=args.lr,
+        promote_fraction=args.promote_frac,
+        max_latency_ms=args.slo_latency_ms,
+        max_flash_kb=args.slo_flash_kb,
+        mode="flat" if args.flat else "staged",
+    )
+    report = run_search(settings, jobs=jobs)
+    print(f"searched {report.count} candidates on {args.dataset} "
+          f"(mode={report.mode}, stage2={report.stage2_epochs} ep, "
+          f"qat={report.qat_epochs} ep, jobs={jobs})")
+    funnels = [report.funnels[name] for name in sorted(report.funnels)]
+    print(f"{'board':14s} {'enum':>5s} {'admit':>5s} {'proxy':>5s} "
+          f"{'promo':>5s} {'qat':>5s} {'front':>5s}")
+    for funnel in funnels:
+        c = funnel.counts
+        print(f"{funnel.board:14s} {c['enumerated']:5d} "
+              f"{c['stage1_admitted']:5d} {c['stage2_evaluated']:5d} "
+              f"{c['promoted']:5d} {c['stage3_trained']:5d} "
+              f"{c['frontier']:5d}")
+    empty = True
+    for funnel in funnels:
+        if not funnel.frontier:
+            continue
+        empty = False
+        print(f"\n{funnel.board} frontier "
+              f"(accuracy x cycles x flash):")
+        for point in funnel.frontier:
+            print(f"  {point.key:36s} acc={point.accuracy:.4f} "
+                  f"cycles={point.cycles:7d} "
+                  f"flash={point.flash_kb:6.1f} KB")
+    if args.out:
+        report.write_artifact(args.out)
+        print(f"\nwrote frontier artifact to {args.out}")
+    print(f"\n[jobs={jobs}]", file=sys.stderr)
+    print(runner.format_timing_summary(), file=sys.stderr)
+    if args.timings_out:
+        runner.write_timings(args.timings_out)
+        print(f"wrote timing JSON to {args.timings_out}", file=sys.stderr)
+    if empty:
+        print("no candidate reached the frontier on any board",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    """List or delete disk-cache entries by prefix / schema staleness."""
+    from repro.experiments.cache import cache_dir, prune_cache
+
+    dry_run = args.dry_run or args.list
+    report = prune_cache(
+        prefix=args.prefix, stale_only=args.stale_schemas, dry_run=dry_run,
+    )
+    verb = "would delete" if dry_run else "deleted"
+    for key in report.deleted:
+        print(f"{verb}: {key}")
+    if args.list:
+        for key in report.kept:
+            print(f"kept: {key}")
+    suffix = "" if dry_run else f", {report.bytes_reclaimed} B reclaimed"
+    print(f"{cache_dir()}: scanned {report.scanned} entries, "
+          f"{verb} {report.deleted_count}, kept {len(report.kept)}"
+          f"{suffix}")
+    return 0
+
+
 def _cmd_encodings(args) -> int:
     from repro.deploy.artifact import analytic_model_latency_ms
     from repro.deploy.serialization import load_quantized_model
@@ -635,6 +724,71 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the scaling sweep JSON here "
                               "(the cluster_scaling.json schema)")
 
+    search = commands.add_parser(
+        "search",
+        help="staged multi-fidelity architecture search: analytic "
+             "screen -> PTQ proxy -> promoted full QAT, emitting a "
+             "per-board Pareto frontier artifact the deploy planner "
+             "consumes as a model catalog",
+    )
+    search.add_argument("--dataset", default="digits_like")
+    search.add_argument("--n-train", type=int, default=None,
+                        help="training rows (default: dataset default)")
+    search.add_argument("--n-test", type=int, default=None,
+                        help="test rows (default: dataset default)")
+    search.add_argument("--boards", nargs="+",
+                        default=[STM32F072RB.name], choices=board_names,
+                        help="board profiles to search for")
+    search.add_argument("--count", type=int, default=24,
+                        help="candidates to sample "
+                             "(env: REPRO_SEARCH_COUNT)")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for stage-2/3 units "
+                             "(default: $REPRO_JOBS or 1; 0 = all cores)")
+    search.add_argument("--stage2-epochs", type=int, default=8,
+                        help="short-budget float epochs for the PTQ "
+                             "proxy (env: REPRO_SEARCH_STAGE2_EPOCHS)")
+    search.add_argument("--epochs", type=int, default=24,
+                        help="full QAT epochs for promoted candidates")
+    search.add_argument("--lr", type=float, default=0.004)
+    search.add_argument("--promote-frac", type=float, default=0.25,
+                        help="fraction of proxy-scored candidates "
+                             "promoted to full QAT")
+    search.add_argument("--slo-latency-ms", type=float, default=None,
+                        help="stage-1 screen: drop candidates whose "
+                             "analytic latency exceeds this")
+    search.add_argument("--slo-flash-kb", type=float, default=None,
+                        help="stage-1 screen: drop candidates whose "
+                             "analytic flash exceeds this")
+    search.add_argument("--flat", action="store_true",
+                        help="skip stages 1-2 and fully train every "
+                             "candidate (the full-fidelity baseline)")
+    search.add_argument("--out", default=None,
+                        help="write the frontier artifact JSON here")
+    search.add_argument("--timings-out", default=None,
+                        help="write the per-unit timing summary JSON "
+                             "here")
+
+    prune = commands.add_parser(
+        "cache-prune",
+        help="list or delete stale result-cache entries by key prefix "
+             "or superseded schema version",
+    )
+    prune.add_argument("--prefix", default="",
+                       help="only touch cache keys starting with this "
+                            "(e.g. 'search-v1-')")
+    prune.add_argument("--stale-schemas", action="store_true",
+                       help="only delete entries whose 'name-vN-' "
+                            "schema version is superseded by a newer "
+                            "one present on disk")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="print what would be deleted, delete "
+                            "nothing")
+    prune.add_argument("--list", action="store_true",
+                       help="list every scanned entry (implies "
+                            "--dry-run)")
+
     lint = commands.add_parser(
         "lint-concurrency",
         help="static concurrency analysis: guarded-by inference, "
@@ -667,6 +821,8 @@ _HANDLERS = {
     "encodings": _cmd_encodings,
     "report": _cmd_report,
     "verify": _cmd_verify,
+    "search": _cmd_search,
+    "cache-prune": _cmd_cache_prune,
     "serve-bench": _cmd_serve_bench,
     "cluster-bench": _cmd_cluster_bench,
     "lint-concurrency": _cmd_lint_concurrency,

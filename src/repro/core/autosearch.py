@@ -9,6 +9,15 @@ frontier of (accuracy, latency, program memory).
 It deliberately reuses the exact training/quantization/deployment
 pipeline the figures use, so a search result is directly comparable to
 the pinned zoo entries.
+
+Candidates evaluate as work units over
+:func:`repro.experiments.runner.map_units` — uncached (the
+:class:`~repro.datasets.base.Dataset` argument has no stable on-disk
+identity), so ``jobs=1`` is exactly the old sequential loop while
+``jobs>1`` fans the trainings out across the process pool with
+byte-identical results.  The staged, cached, multi-board search lives
+in :mod:`repro.search`; this module remains the small single-board
+full-fidelity variant the figures and tests pin.
 """
 
 from __future__ import annotations
@@ -148,6 +157,17 @@ class SearchOutcome:
         return max(eligible, key=lambda c: c.accuracy)
 
 
+def _candidate_unit(
+    config: NeuroCConfig,
+    dataset: Dataset,
+    epochs: int,
+    lr: float,
+    board: BoardProfile,
+) -> CandidateResult:
+    """One search candidate as a (pool-transportable) work unit."""
+    return evaluate_candidate(config, dataset, epochs, lr, board)
+
+
 def search(
     dataset: Dataset,
     count: int = 12,
@@ -155,15 +175,29 @@ def search(
     lr: float = 0.006,
     seed: int = 0,
     board: BoardProfile = STM32F072RB,
+    jobs: int | None = None,
 ) -> SearchOutcome:
-    """Run the full automated exploration."""
+    """Run the full automated exploration (parallel at any ``jobs``)."""
+    # Imported lazily: the experiments package's figure modules import
+    # repro.core modules back.
+    from repro.experiments import runner
+
     configs = sample_configs(
         dataset.num_features, dataset.num_classes, count=count, seed=seed
     )
-    results = [
-        evaluate_candidate(config, dataset, epochs, lr, board)
+    units = [
+        runner.WorkUnit(
+            key=(
+                f"autosearch-{dataset.name}-c{count}-e{epochs}"
+                f"-lr{lr:g}-s{seed}-{board.name}-{config.name}"
+            ),
+            fn=_candidate_unit,
+            args=(config, dataset, epochs, lr, board),
+            cache=False,
+        )
         for config in configs
     ]
+    results = runner.map_units("autosearch", units, jobs=jobs)
     return SearchOutcome(
         all_results=tuple(results),
         frontier=tuple(pareto_frontier(results)),

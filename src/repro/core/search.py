@@ -97,22 +97,51 @@ def evaluate_trained_mlp(
     )
 
 
+def _search_unit(
+    config: MLPConfig,
+    dataset: Dataset,
+    epochs: int,
+    board: BoardProfile,
+) -> SearchRecord:
+    """One baseline configuration as a (pool-transportable) work unit."""
+    return evaluate_trained_mlp(train_mlp(config, dataset, epochs=epochs),
+                                board)
+
+
 def run_mlp_search(
     dataset: Dataset,
     count: int = 50,
     epochs: int = 25,
     seed: int = 0,
     board: BoardProfile = STM32F072RB,
+    jobs: int | None = None,
 ) -> list[SearchRecord]:
-    """Train the sampled configurations and collect deployment metrics."""
+    """Train the sampled configurations and collect deployment metrics.
+
+    Fans out over :func:`repro.experiments.runner.map_units` (uncached
+    units — the dataset argument has no stable disk identity), so
+    ``jobs=1`` matches the old sequential loop byte for byte.
+    """
+    # Imported lazily: the experiments package's figure modules import
+    # this module back.
+    from repro.experiments import runner
+
     configs = random_mlp_configs(
         dataset.num_features, dataset.num_classes, count=count, seed=seed
     )
-    records = []
-    for config in configs:
-        trained = train_mlp(config, dataset, epochs=epochs)
-        records.append(evaluate_trained_mlp(trained, board))
-    return records
+    units = [
+        runner.WorkUnit(
+            key=(
+                f"mlpsearch-{dataset.name}-c{count}-e{epochs}-s{seed}"
+                f"-{board.name}-{config.name}"
+            ),
+            fn=_search_unit,
+            args=(config, dataset, epochs, board),
+            cache=False,
+        )
+        for config in configs
+    ]
+    return runner.map_units("mlp-search", units, jobs=jobs)
 
 
 def smallest_matching(

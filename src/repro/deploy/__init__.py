@@ -10,10 +10,13 @@ from repro.deploy.artifact import (
 from repro.deploy.cgen import generate_c_source
 from repro.deploy.deployer import Deployment, deploy
 from repro.deploy.planner import (
+    CatalogCandidate,
+    CatalogPlan,
     DeploymentPlan,
     DeploySLO,
     PlanCandidate,
     plan_deployment,
+    plan_from_catalog,
 )
 from repro.deploy.firmware import (
     FirmwareImage,
@@ -36,6 +39,8 @@ from repro.deploy.size import (
 
 __all__ = [
     "BatchInferenceResult",
+    "CatalogCandidate",
+    "CatalogPlan",
     "DeploySLO",
     "DeployedModel",
     "Deployment",
@@ -46,6 +51,7 @@ __all__ = [
     "PlanCandidate",
     "ProgramMemoryReport",
     "plan_deployment",
+    "plan_from_catalog",
     "STARTUP_TEXT_BYTES",
     "analytic_model_cycles",
     "analytic_model_latency_ms",

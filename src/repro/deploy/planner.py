@@ -23,6 +23,11 @@ Objectives are lexicographic and deterministic:
 A tight-latency SLO therefore buys the fast, large board while a
 tight-flash SLO forces the small one — different ``(encoding, engine,
 board)`` tuples, the acceptance criterion of ISSUE 9.
+
+:func:`plan_from_catalog` extends the same admission rules to a *model
+catalog* — the per-board Pareto frontier artifact a ``repro search``
+sweep emits — picking the most accurate already-trained model that
+meets the SLO instead of re-pricing one fixed model.
 """
 
 from __future__ import annotations
@@ -224,4 +229,123 @@ def plan_deployment(
         chosen=chosen,
         deployment=deployment,
         considered=considered,
+    )
+
+
+# -- catalog planning (search-frontier artifacts) ---------------------------
+
+@dataclass(frozen=True)
+class CatalogCandidate:
+    """One catalog row (a trained frontier model) after SLO admission."""
+
+    entry: dict
+    board: BoardProfile
+    feasible: bool
+    reason: str
+
+    @property
+    def key(self) -> str:
+        return str(self.entry["key"])
+
+    @property
+    def accuracy(self) -> float:
+        return float(self.entry["accuracy"])
+
+    @property
+    def cycles(self) -> int:
+        return int(self.entry["cycles"])
+
+    @property
+    def flash_kb(self) -> float:
+        return float(self.entry["flash_kb"])
+
+
+@dataclass(frozen=True)
+class CatalogPlan:
+    """Outcome of :func:`plan_from_catalog`: winner + admission table."""
+
+    slo: DeploySLO
+    chosen: CatalogCandidate
+    considered: tuple[CatalogCandidate, ...]
+
+    @property
+    def feasible(self) -> tuple[CatalogCandidate, ...]:
+        return tuple(c for c in self.considered if c.feasible)
+
+
+def plan_from_catalog(
+    entries: Sequence[dict],
+    slo: DeploySLO | None = None,
+) -> CatalogPlan:
+    """Pick the best *trained* model from a search-frontier catalog.
+
+    ``entries`` are frontier rows as a ``repro search`` artifact stores
+    them (see :func:`repro.search.frontier.catalog_entries`): each names
+    its own board, measured cycles, and flash footprint.  Admission
+    mirrors :func:`plan_deployment` — device class under the flash SLO,
+    program under the board's flash and the flash SLO, cycles within the
+    board's *ceiling* budget for the latency SLO — but the objective
+    flips: a catalog spans models of different accuracies, so the
+    planner maximizes accuracy first, then minimizes cycles, then
+    flash, with the candidate key as the deterministic tie-break.
+
+    Raises :class:`~repro.errors.BudgetExceededError` with the full
+    rejection table when nothing in the catalog satisfies the SLO.
+    """
+    from repro.mcu.board import board_by_name
+
+    slo = slo or DeploySLO()
+    if not entries:
+        raise ConfigurationError("catalog has no entries")
+
+    considered = []
+    for entry in entries:
+        board = board_by_name(str(entry["board"]))
+        cycles = int(entry["cycles"])
+        flash_kb = float(entry["flash_kb"])
+        reason = ""
+        if slo.max_flash_kb is not None and (
+            board.flash_kb > slo.max_flash_kb
+        ):
+            reason = (
+                f"{board.name} carries {board.flash_kb} KB flash, over "
+                f"the {slo.max_flash_kb:g} KB device budget"
+            )
+        elif flash_kb * 1024 > board.flash_bytes:
+            reason = (
+                f"needs {flash_kb:.1f} KB flash, "
+                f"{board.name} has {board.flash_kb} KB"
+            )
+        elif slo.max_flash_kb is not None and flash_kb > slo.max_flash_kb:
+            reason = (
+                f"program memory {flash_kb:.1f} KB over the "
+                f"{slo.max_flash_kb:g} KB SLO"
+            )
+        elif slo.max_latency_ms is not None and cycles > board.ms_to_cycles(
+            slo.max_latency_ms
+        ):
+            reason = (
+                f"{cycles} cycles over the "
+                f"{board.ms_to_cycles(slo.max_latency_ms)}-cycle budget "
+                f"({slo.max_latency_ms:g} ms on {board.name})"
+            )
+        considered.append(CatalogCandidate(
+            entry=dict(entry), board=board,
+            feasible=reason == "", reason=reason,
+        ))
+
+    feasible = [c for c in considered if c.feasible]
+    if not feasible:
+        table = "; ".join(
+            f"{c.key}@{c.board.name}: {c.reason}" for c in considered
+        )
+        raise BudgetExceededError(
+            f"no catalog model satisfies the SLO — {table}"
+        )
+    chosen = min(
+        feasible,
+        key=lambda c: (-c.accuracy, c.cycles, c.flash_kb, c.key),
+    )
+    return CatalogPlan(
+        slo=slo, chosen=chosen, considered=tuple(considered)
     )

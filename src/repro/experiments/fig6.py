@@ -16,7 +16,6 @@ directory to retrain from scratch.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from repro.core.mlp import train_mlp
@@ -45,8 +44,7 @@ SEARCH_EPOCHS = 18
 
 def search_count() -> int:
     """``REPRO_FIG6_SEARCH_COUNT`` override (CI smoke runs shrink it)."""
-    raw = os.environ.get("REPRO_FIG6_SEARCH_COUNT", "").strip()
-    return int(raw) if raw else SEARCH_COUNT
+    return runner.env_int("REPRO_FIG6_SEARCH_COUNT", SEARCH_COUNT)
 
 #: The three §5.2 tiers and their zoo keys.
 TIERS = ("small", "medium", "large")

@@ -26,6 +26,13 @@ epochs (CI smoke runs shrink the workload with it); the effective value
 is embedded in each unit key so differently-capped runs never share
 cache entries.
 
+Every ``REPRO_*`` integer knob parses through :func:`env_int` — one
+error message, one empty-value rule — and any knob that changes the
+work a unit performs must be embedded in that unit's cache key.  The
+full knob table lives in ``docs/search.md`` ("Environment knobs"):
+``REPRO_JOBS``, ``REPRO_MAX_EPOCHS``, ``REPRO_FIG6_SEARCH_COUNT``,
+``REPRO_SEARCH_COUNT``, ``REPRO_SEARCH_STAGE2_EPOCHS``.
+
 Timing: every :func:`map_units` call records per-unit and per-figure
 wall times plus cold/warm flags into a process-global registry —
 ``repro report`` prints it and the benchmark harness persists it as
@@ -108,18 +115,30 @@ def unit_seed(key: str) -> int:
     return int.from_bytes(digest[:8], "little") >> 1
 
 
+def env_int(name: str, default: int | None = None) -> int | None:
+    """Parse one integer ``REPRO_*`` environment knob.
+
+    The single parsing rule every knob shares (no per-knob sprawl):
+    unset or blank means ``default``; anything else must parse as an
+    integer or a :class:`~repro.errors.ConfigurationError` names the
+    offending variable.  Callers embedding a knob's value in work they
+    cache must put the *returned* value in the cache key.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{name} must be an integer: {raw!r}"
+        ) from exc
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Explicit argument > ``REPRO_JOBS`` env > 1; 0/-1 mean all cores."""
     if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"REPRO_JOBS must be an integer: {raw!r}"
-            ) from exc
+        jobs = env_int("REPRO_JOBS", 1)
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
@@ -131,15 +150,7 @@ def effective_epochs(requested: int) -> int:
     Figures embed the returned value in their unit keys, so capped and
     uncapped runs never collide in the cache.
     """
-    raw = os.environ.get("REPRO_MAX_EPOCHS", "").strip()
-    if not raw:
-        return requested
-    try:
-        cap = int(raw)
-    except ValueError as exc:
-        raise ConfigurationError(
-            f"REPRO_MAX_EPOCHS must be an integer: {raw!r}"
-        ) from exc
+    cap = env_int("REPRO_MAX_EPOCHS", 0)
     if cap <= 0:
         return requested
     return min(requested, cap)

@@ -11,6 +11,7 @@ from repro.quantize.ptq import (
     CALIBRATION_HEADROOM,
     QuantizedModel,
     quantize_model,
+    ternarize_float_model,
 )
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "float_to_q",
     "q_to_float",
     "quantize_model",
+    "ternarize_float_model",
     "quantize_multiplier",
     "quantize_multipliers_shared_shift",
     "requantize",

@@ -190,6 +190,108 @@ class QuantizedModel:
         return self.specs[-1].n_out
 
 
+def ternarize_float_model(
+    model: Sequential,
+    threshold: float = 0.84,
+    supports: list[np.ndarray] | None = None,
+) -> Sequential:
+    """Project a trained *float* model onto the Neuro-C form (PTQ, §5.1).
+
+    This is the search engine's low-fidelity stage-2 proxy: instead of
+    training with fake quantization (QAT), take a short-budget float net
+    and post-hoc ternarize each folded dense stage —
+
+    - adjacency ``a_ij = sign(w_ij) · [|w_ij| > δ]`` with ``δ`` the
+      per-layer ``threshold``-quantile of in-support weight magnitudes,
+      so the surviving density is ``1 - threshold`` — the expected
+      density of the STE quantizer at the same threshold on its
+      uniformly-initialized latents, transferred to float weights;
+    - per-neuron scale ``w_j`` = mean ``|w_ij|`` over the surviving
+      connections of neuron ``j`` (the TWN-optimal scale for a given
+      support), so Eq. 1 approximates the dense product;
+    - bias carried over unchanged (batch norm, when present, is folded
+      into the dense weights first by :func:`_extract_stages`).
+
+    ``supports`` (optional, one boolean ``(n_in, n_out)`` mask per
+    weighted stage) restricts connectivity to a fixed design-time support
+    — the §3.2 fixed strategies — so the proxy prices the same topology
+    the QAT run would train.  Every neuron keeps at least its strongest
+    in-support connection, so no layer dies before calibration.
+
+    The result is a frozen-adjacency Sequential that
+    :func:`quantize_model` exports like any trained Neuro-C model.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise QuantizationError(
+            f"ternarization threshold must be in [0, 1), got {threshold}"
+        )
+    stages = _extract_stages(model)
+    if supports is not None and len(supports) != len(stages):
+        raise QuantizationError(
+            f"{len(supports)} support masks for {len(stages)} weighted "
+            "stages"
+        )
+
+    layers: list = []
+    for index, stage in enumerate(stages):
+        weights = stage.weights.astype(np.float32)
+        if stage.kind != "dense":
+            raise QuantizationError(
+                "ternarize_float_model expects a float (dense) model; "
+                f"stage {index} is already {stage.kind}"
+            )
+        magnitude = np.abs(weights)
+        if supports is not None:
+            support = np.asarray(supports[index], dtype=bool)
+            if support.shape != weights.shape:
+                raise QuantizationError(
+                    f"stage {index}: support shape {support.shape} != "
+                    f"{weights.shape}"
+                )
+            magnitude = np.where(support, magnitude, 0.0)
+        mass = magnitude[magnitude > 0.0]
+        if mass.size == 0:
+            raise QuantizationError(
+                f"stage {index} has no weight mass inside its support"
+            )
+        delta = float(np.quantile(mass, threshold))
+        keep = magnitude > delta
+        # Dead-neuron guard: a column losing every connection would turn
+        # the neuron into a constant — keep its strongest in-support
+        # weight instead so downstream calibration never sees a dead
+        # layer.
+        dead = ~keep.any(axis=0)
+        if dead.any():
+            strongest = magnitude.argmax(axis=0)
+            keep[strongest[dead], np.flatnonzero(dead)] = (
+                magnitude[strongest[dead], np.flatnonzero(dead)] > 0.0
+            )
+        adjacency = (np.sign(weights) * keep).astype(np.int8)
+
+        kept_mass = np.where(keep, magnitude, 0.0)
+        counts = keep.sum(axis=0)
+        scale = np.divide(
+            kept_mass.sum(axis=0),
+            np.maximum(counts, 1),
+            dtype=np.float32,
+        )
+        scale[counts == 0] = 1.0  # disconnected neuron: bias-only
+
+        layer = NeuroCLayer(
+            n_in=weights.shape[0],
+            n_out=weights.shape[1],
+            rng=np.random.default_rng(0),  # unused with fixed adjacency
+            fixed_adjacency=adjacency,
+            use_scale=True,
+        )
+        layer.scale.value = scale.astype(np.float32)
+        layer.bias.value = stage.bias.astype(np.float32)
+        layers.append(layer)
+        if stage.relu:
+            layers.append(ActivationLayer("relu"))
+    return Sequential(layers, name=f"{model.name}-ptq-ternary")
+
+
 def quantize_model(
     model: Sequential,
     calibration_x: np.ndarray,

@@ -1,0 +1,308 @@
+"""The three evaluation fidelities of the staged search.
+
+Cheap to expensive, each stage prices a :class:`CandidateSpec` on one
+board:
+
+1. :func:`analytic_screen` — no training at all.  An *untrained* model's
+   ternary adjacency already determines program memory and (to first
+   order) cycle count, so SLO-infeasible candidates are rejected from
+   operation counts alone.
+2. :func:`stage2_unit` — short-budget *float* training followed by
+   post-training ternarization + int8 export
+   (:func:`repro.quantize.ptq.ternarize_float_model`), scored on real
+   interpreter cycles.  A low-fidelity accuracy proxy: wrong in absolute
+   terms, cheap, and rank-correlated with full QAT (pinned by
+   ``tests/search/test_proxy_fidelity.py``).
+3. :func:`stage3_unit` — the figures' full QAT pipeline
+   (:func:`repro.core.neuroc.train_neuroc`), spent only on candidates
+   the promotion rule selects.
+
+Stage-2/3 functions are module-level and JSON-in/JSON-out: they are the
+``fn`` of a :class:`~repro.experiments.runner.WorkUnit` and must be
+importable by pool workers and round-trippable through the disk cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mlp import MLPConfig, train_mlp
+from repro.core.neuroc import build_neuroc, train_neuroc
+from repro.datasets import load
+from repro.deploy.artifact import analytic_model_cycles
+from repro.deploy.deployer import deploy
+from repro.deploy.size import model_program_memory
+from repro.errors import QuantizationError, ReproError
+from repro.kernels.spec import make_neuroc_spec
+from repro.mcu.board import BoardProfile, board_by_name
+from repro.quantize.ptq import (
+    QuantizedModel,
+    quantize_model,
+    ternarize_float_model,
+)
+from repro.search.space import CandidateSpec
+
+#: Stage-1 latency slack: an untrained adjacency only approximates the
+#: trained nnz (QAT prunes further; the dead-neuron guard adds back), so
+#: the analytic screen admits candidates up to this factor over the SLO
+#: cycle budget and lets the later measured stages make the exact call.
+STAGE1_LATENCY_SLACK = 1.25
+
+#: Calibration rows for the stage-2 PTQ export (small on purpose — the
+#: proxy is about ranking, not absolute accuracy).
+STAGE2_CALIBRATION_ROWS = 256
+
+
+def _dataset_from_key(dataset_key: dict):
+    return load(
+        dataset_key["name"],
+        n_train=dataset_key.get("n_train"),
+        n_test=dataset_key.get("n_test"),
+        seed=dataset_key.get("seed", 0),
+    )
+
+
+def measure_on_board(
+    quantized: QuantizedModel, encoding: str, board: BoardProfile
+) -> dict:
+    """Deploy-and-run metrics of an exported model on one board.
+
+    Cycles are *measured* — one inference on the cycle-exact simulated
+    CPU (inference cost is input-independent, so one zero-input run is
+    the true per-request cost; the latency-agreement tests hold measured
+    equal to analytic).  When the program does not fit the board's
+    flash, the analytic count stands in and ``fits`` is False.
+    """
+    deployment = deploy(
+        quantized, format_name=encoding, board=board, verify=False
+    )
+    if deployment.deployable:
+        cycles = deployment.model.infer(
+            np.zeros(quantized.n_in, dtype=np.float32)
+        ).cycles
+    else:
+        cycles = analytic_model_cycles(quantized, encoding, board)
+    return {
+        "cycles": int(cycles),
+        "latency_ms": board.cycles_to_ms(int(cycles)),
+        "flash_kb": deployment.program_memory.total_kb,
+        "fits": bool(deployment.deployable),
+    }
+
+
+# -- stage 1: analytic screen (no training) ---------------------------------
+
+def _pseudo_specs(spec: CandidateSpec, config) -> list:
+    """Kernel specs of the *untrained* model (structure only).
+
+    Multipliers are unit, biases zero: flash size and cycle count depend
+    on the adjacency structure and widths, not on the trained values.
+    """
+    model = build_neuroc(config)
+    layers = model.neuroc_layers()
+    specs = []
+    for i, layer in enumerate(layers):
+        is_last = i == len(layers) - 1
+        specs.append(make_neuroc_spec(
+            adjacency=layer.ternary_adjacency(),
+            bias=np.zeros(layer.n_out, dtype=np.int32),
+            mult=np.ones(layer.n_out, dtype=np.int16),
+            shift=0,
+            act_in_width=spec.act_width,
+            act_out_width=2 if is_last else spec.act_width,
+            relu=not is_last,
+        ))
+    return specs
+
+
+def analytic_screen(
+    spec: CandidateSpec,
+    config,
+    board: BoardProfile,
+    max_latency_ms: float | None = None,
+    max_flash_kb: float | None = None,
+) -> dict:
+    """Price a candidate without training; mirrors the planner's rules.
+
+    Runs inline in the parent (no work unit): milliseconds per
+    candidate, and the rejection reason lands in the search report the
+    same way :func:`~repro.deploy.planner.plan_deployment` reports its
+    rejection table.
+    """
+    specs = _pseudo_specs(spec, config)
+    memory = model_program_memory(specs, format_name=spec.encoding)
+    pseudo = QuantizedModel(
+        specs=specs, input_scale=1.0, act_width=spec.act_width
+    )
+    cycles = analytic_model_cycles(pseudo, spec.encoding, board)
+    flash_kb = memory.total_kb
+
+    reason = ""
+    if max_flash_kb is not None and board.flash_kb > max_flash_kb:
+        reason = (
+            f"{board.name} carries {board.flash_kb} KB flash, over the "
+            f"{max_flash_kb:g} KB device budget"
+        )
+    elif not memory.fits(board):
+        reason = (
+            f"needs {flash_kb:.1f} KB flash, "
+            f"{board.name} has {board.flash_kb} KB"
+        )
+    elif max_flash_kb is not None and flash_kb > max_flash_kb:
+        reason = (
+            f"program memory {flash_kb:.1f} KB over the "
+            f"{max_flash_kb:g} KB SLO"
+        )
+    elif max_latency_ms is not None and cycles > STAGE1_LATENCY_SLACK * (
+        board.ms_to_cycles(max_latency_ms)
+    ):
+        reason = (
+            f"{cycles} analytic cycles over "
+            f"{STAGE1_LATENCY_SLACK:g}x the "
+            f"{board.ms_to_cycles(max_latency_ms)}-cycle budget "
+            f"({max_latency_ms:g} ms on {board.name})"
+        )
+    return {
+        "key": spec.key,
+        "board": board.name,
+        "cycles": int(cycles),
+        "latency_ms": board.cycles_to_ms(int(cycles)),
+        "flash_kb": flash_kb,
+        "admitted": reason == "",
+        "reason": reason,
+    }
+
+
+# -- stage 2: PTQ proxy (short float training, no QAT) ----------------------
+
+def _fixed_supports(config) -> list[np.ndarray] | None:
+    """The design-time support masks of a fixed-strategy config.
+
+    The float proxy must price the same topology QAT would train, so
+    the ternarization is restricted to the config's own (deterministic,
+    seed-derived) supports.  Learned-strategy configs return ``None``
+    (the proxy picks the support from weight magnitudes, as QAT picks
+    it from latents).
+    """
+    if config.strategy == "quantization":
+        return None
+    model = build_neuroc(config)
+    return [
+        layer.support.copy() for layer in model.neuroc_layers()
+    ]
+
+
+def stage2_unit(
+    spec_dict: dict,
+    dataset_key: dict,
+    board_name: str,
+    epochs: int,
+    lr: float,
+    cand_seed: int,
+) -> dict:
+    """One stage-2 evaluation: float train -> PTQ ternarize -> measure."""
+    spec = CandidateSpec.from_dict(spec_dict)
+    dataset = _dataset_from_key(dataset_key)
+    board = board_by_name(board_name)
+    config = spec.to_config(
+        dataset.num_features, dataset.num_classes, seed=cand_seed,
+        image_shape=_plane(dataset),
+    )
+    result = {
+        "key": spec.key,
+        "spec": spec.to_dict(),
+        "board": board.name,
+        "stage": 2,
+        "proxy_accuracy": 0.0,
+        "float_accuracy": 0.0,
+        "cycles": 0,
+        "latency_ms": 0.0,
+        "flash_kb": 0.0,
+        "nnz": 0,
+        "fits": False,
+        "error": "",
+    }
+    try:
+        float_config = MLPConfig(
+            n_in=config.n_in, n_out=config.n_out, hidden=config.hidden,
+            dropout=0.0, batch_norm=False, seed=cand_seed,
+            name=f"{spec.key}-float",
+        )
+        trained = train_mlp(float_config, dataset, epochs=epochs, lr=lr)
+        ternary = ternarize_float_model(
+            trained.model, threshold=spec.threshold,
+            supports=_fixed_supports(config),
+        )
+        quantized = quantize_model(
+            ternary,
+            dataset.x_train[:STAGE2_CALIBRATION_ROWS],
+            act_width=spec.act_width,
+        )
+        result.update(measure_on_board(quantized, spec.encoding, board))
+        result["proxy_accuracy"] = quantized.accuracy(
+            dataset.x_test, dataset.y_test
+        )
+        result["float_accuracy"] = trained.float_accuracy
+        result["nnz"] = sum(
+            layer.nnz for layer in ternary.neuroc_layers()
+        )
+    except (QuantizationError, ReproError) as exc:
+        result["error"] = f"{type(exc).__name__}: {exc}"
+    return result
+
+
+# -- stage 3: full QAT ------------------------------------------------------
+
+def stage3_unit(
+    spec_dict: dict,
+    dataset_key: dict,
+    board_name: str,
+    epochs: int,
+    lr: float,
+    cand_seed: int,
+) -> dict:
+    """One stage-3 evaluation: the full train_neuroc pipeline + measure."""
+    spec = CandidateSpec.from_dict(spec_dict)
+    dataset = _dataset_from_key(dataset_key)
+    board = board_by_name(board_name)
+    config = spec.to_config(
+        dataset.num_features, dataset.num_classes, seed=cand_seed,
+        image_shape=_plane(dataset),
+    )
+    result = {
+        "key": spec.key,
+        "spec": spec.to_dict(),
+        "board": board.name,
+        "stage": 3,
+        "accuracy": 0.0,
+        "float_accuracy": 0.0,
+        "cycles": 0,
+        "latency_ms": 0.0,
+        "flash_kb": 0.0,
+        "nnz": 0,
+        "fits": False,
+        "error": "",
+    }
+    try:
+        trained = train_neuroc(
+            config, dataset, epochs=epochs, lr=lr,
+            act_width=spec.act_width,
+        )
+        result.update(
+            measure_on_board(trained.quantized, spec.encoding, board)
+        )
+        result["accuracy"] = trained.quantized_accuracy
+        result["float_accuracy"] = trained.float_accuracy
+        result["nnz"] = sum(
+            layer.nnz for layer in trained.model.neuroc_layers()
+        )
+    except (QuantizationError, ReproError) as exc:
+        result["error"] = f"{type(exc).__name__}: {exc}"
+    return result
+
+
+def _plane(dataset) -> tuple[int, int] | None:
+    """2-D image geometry for the locality strategy, when the dataset
+    has one."""
+    shape = tuple(dataset.image_shape or ())
+    return shape if len(shape) == 2 else None

@@ -73,3 +73,12 @@ class TestLiveSearch:
         assert best is not None
         assert best.latency_ms <= tightest
         assert outcome.best_under(max_latency_ms=1e-9) is None
+
+    def test_parallel_jobs_match_sequential(self, outcome, request):
+        # Candidates fan out over the work-unit pool: results must be
+        # identical at any jobs value (the runner's determinism
+        # contract, applied to the uncached autosearch units).
+        digits = request.getfixturevalue("digits_small")
+        parallel = search(digits, count=4, epochs=12, seed=0, jobs=2)
+        assert parallel.all_results == outcome.all_results
+        assert parallel.frontier == outcome.frontier

@@ -105,3 +105,83 @@ class TestSLOObjectives:
         assert deployment.latency_ms == pytest.approx(
             plan.chosen.latency_ms
         )
+
+
+class TestCatalogPlanning:
+    """plan_from_catalog: SLO admission over search-frontier rows."""
+
+    @staticmethod
+    def entry(key, board, accuracy, cycles, flash_kb):
+        return {
+            "key": key, "board": board, "accuracy": accuracy,
+            "cycles": cycles, "flash_kb": flash_kb,
+            "latency_ms": 0.0, "nnz": 100, "spec": {},
+        }
+
+    @pytest.fixture()
+    def catalog(self):
+        return [
+            self.entry("small", "STM32F072RB", 0.82, 10_000, 4.0),
+            self.entry("big", "STM32F072RB", 0.95, 60_000, 20.0),
+            self.entry("fast", "STM32H747XI", 0.91, 6_000, 12.0),
+        ]
+
+    def test_unconstrained_picks_highest_accuracy(self, catalog):
+        from repro.deploy import plan_from_catalog
+
+        plan = plan_from_catalog(catalog)
+        assert plan.chosen.key == "big"
+        assert len(plan.feasible) == 3
+
+    def test_latency_slo_filters_by_ceiling_cycle_budget(self, catalog):
+        from repro.deploy import plan_from_catalog
+        from repro.mcu.board import board_by_name
+
+        f072 = board_by_name("STM32F072RB")
+        # A budget that admits 10k cycles on the F072 but not 60k.
+        budget_ms = 20_000 / f072.ms_to_cycles(1.0)
+        plan = plan_from_catalog(
+            catalog, DeploySLO(max_latency_ms=budget_ms)
+        )
+        rejected = {c.key for c in plan.considered if not c.feasible}
+        assert "big" in rejected
+        # The H7 entry clears the same wall-clock budget easily.
+        assert plan.chosen.key in ("fast", "small")
+        assert plan.chosen.accuracy == max(
+            c.accuracy for c in plan.feasible
+        )
+
+    def test_flash_slo_caps_the_device_class(self, catalog):
+        from repro.deploy import plan_from_catalog
+
+        plan = plan_from_catalog(
+            catalog, DeploySLO(max_flash_kb=STM32F072RB.flash_kb)
+        )
+        # The H7 carries more flash than the device budget allows.
+        assert all(
+            c.board.name != "STM32H747XI" for c in plan.feasible
+        )
+        assert plan.chosen.key == "big"
+
+    def test_program_over_board_flash_is_rejected(self):
+        from repro.deploy import plan_from_catalog
+
+        oversized = [
+            self.entry("huge", "STM32F072RB", 0.99, 1_000,
+                       STM32F072RB.flash_kb + 1.0),
+            self.entry("fits", "STM32F072RB", 0.5, 1_000, 4.0),
+        ]
+        plan = plan_from_catalog(oversized)
+        assert plan.chosen.key == "fits"
+
+    def test_impossible_slo_raises_with_table(self, catalog):
+        from repro.deploy import plan_from_catalog
+
+        with pytest.raises(BudgetExceededError, match="no catalog model"):
+            plan_from_catalog(catalog, DeploySLO(max_latency_ms=1e-6))
+
+    def test_empty_catalog_is_a_configuration_error(self):
+        from repro.deploy import plan_from_catalog
+
+        with pytest.raises(ConfigurationError):
+            plan_from_catalog([])

@@ -1,0 +1,180 @@
+"""Cache pruning: prefix/staleness selection and hammer safety.
+
+Sits beside test_cache_concurrency.py on purpose: pruning is the one
+operation that *deletes* from the shared disk cache, so the interesting
+failure modes are races against concurrent writers and other pruners.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache.clear_memory_cache()
+    yield tmp_path
+    cache.clear_memory_cache()
+
+
+def _seed_entries(root, keys):
+    for key in keys:
+        (root / f"{key}.json").write_text(json.dumps({"key": key}))
+
+
+class TestSchemaParsing:
+    def test_versioned_keys_parse(self):
+        assert cache.schema_of("fig6-v2-search-c24") == ("fig6", 2)
+        assert cache.schema_of("search-v1-s2-digits") == ("search", 1)
+        assert cache.schema_of("a_b.c-v10-x") == ("a_b.c", 10)
+
+    def test_unversioned_keys_do_not(self):
+        assert cache.schema_of("plain-key") is None
+        assert cache.schema_of("v2-x") is None
+        assert cache.schema_of("fig6-v-x") is None
+
+
+class TestPruneSelection:
+    KEYS = [
+        "fig6-v1-old-a",
+        "fig6-v1-old-b",
+        "fig6-v2-new",
+        "search-v1-x",
+        "plain-key",
+    ]
+
+    def test_entries_listing_respects_prefix(self, isolated_cache):
+        _seed_entries(isolated_cache, self.KEYS)
+        assert cache.cache_entries() == sorted(self.KEYS)
+        assert cache.cache_entries("fig6-") == [
+            "fig6-v1-old-a", "fig6-v1-old-b", "fig6-v2-new",
+        ]
+
+    def test_stale_only_keeps_newest_schema_version(self, isolated_cache):
+        _seed_entries(isolated_cache, self.KEYS)
+        report = cache.prune_cache(stale_only=True)
+        assert report.deleted == ("fig6-v1-old-a", "fig6-v1-old-b")
+        # The newest fig6 version, the sole search version, and the
+        # unversioned key all survive.
+        assert cache.cache_entries() == [
+            "fig6-v2-new", "plain-key", "search-v1-x",
+        ]
+
+    def test_prefix_prune_deletes_only_matching(self, isolated_cache):
+        _seed_entries(isolated_cache, self.KEYS)
+        report = cache.prune_cache(prefix="search-v1-")
+        assert report.deleted == ("search-v1-x",)
+        assert report.bytes_reclaimed > 0
+        assert "search-v1-x" not in cache.cache_entries()
+
+    def test_dry_run_deletes_nothing(self, isolated_cache):
+        _seed_entries(isolated_cache, self.KEYS)
+        report = cache.prune_cache(dry_run=True)
+        assert report.dry_run
+        assert set(report.deleted) == set(self.KEYS)
+        assert cache.cache_entries() == sorted(self.KEYS)
+
+    def test_prune_purges_memo_so_value_is_not_resurrected(
+        self, isolated_cache
+    ):
+        _seed_entries(isolated_cache, ["res-v1-x"])
+        # Warm the in-process memo from disk.
+        assert cache.cached_json("res-v1-x", lambda: {"fresh": 1}) == {
+            "key": "res-v1-x"
+        }
+        cache.prune_cache(prefix="res-")
+        # A pruned key recomputes — the stale memo must not serve the
+        # deleted entry's value.
+        assert cache.cached_json(
+            "res-v1-x", lambda: {"fresh": 1}
+        ) == {"fresh": 1}
+
+
+class TestPruneHammer:
+    def test_writers_and_pruners_race_without_errors(self, isolated_cache):
+        """Writers repopulate keys while two pruners sweep them.
+
+        The invariants: nobody raises (unlink tolerates already-gone
+        files), every surviving file is complete JSON, and a final
+        prune leaves the directory empty of matching entries.
+        """
+        stop = threading.Event()
+        errors = []
+        keys = [f"hammer-v1-{i}" for i in range(8)]
+
+        def writer(key):
+            payload = json.dumps({"key": key, "pad": "x" * 256})
+            try:
+                while not stop.is_set():
+                    cache._write_atomic(
+                        isolated_cache / f"{key}.json", payload
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def pruner():
+            try:
+                while not stop.is_set():
+                    cache.prune_cache(prefix="hammer-")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(key,)) for key in keys
+        ] + [threading.Thread(target=pruner) for _ in range(2)]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+
+        assert not errors
+        # Whatever survived the race is complete JSON (atomic writes
+        # and whole-file unlinks never expose partial entries).
+        for path in isolated_cache.glob("hammer-*.json"):
+            try:
+                assert json.loads(path.read_text())["pad"] == "x" * 256
+            except FileNotFoundError:
+                pass  # a pruner removed it between glob and read
+        final = cache.prune_cache(prefix="hammer-")
+        assert not final.dry_run
+        assert cache.cache_entries("hammer-") == []
+        # No temp files leaked from the atomic-write protocol.
+        assert list(isolated_cache.glob("*.tmp")) == []
+
+    def test_two_pruners_one_set_of_keys(self, isolated_cache):
+        """Two pruners sweep the same static keys; deletions overlap
+        but neither raises and the union removes everything."""
+        keys = [f"dual-v1-{i}" for i in range(20)]
+        _seed_entries(isolated_cache, keys)
+        reports = [None, None]
+        errors = []
+
+        def sweep(slot):
+            try:
+                reports[slot] = cache.prune_cache(prefix="dual-")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=sweep, args=(i,)) for i in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert cache.cache_entries("dual-") == []
+        # Both pruners finished; together they account for every key
+        # (overlap is fine — unlink(missing_ok=True) absorbs it).
+        assert all(r is not None for r in reports)
+        assert set(reports[0].deleted) | set(reports[1].deleted) == set(
+            keys
+        )

@@ -201,3 +201,62 @@ class TestTrain:
         model = load_quantized_model(out_file)
         assert model.n_in == 64
         assert model.n_out == 10
+
+
+class TestSearchCommand:
+    def test_search_prints_funnel_and_writes_artifact(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.experiments.cache import clear_memory_cache
+
+        clear_memory_cache()
+        artifact = tmp_path / "frontier.json"
+        assert main([
+            "search", "--count", "4", "--stage2-epochs", "2",
+            "--epochs", "3", "--n-train", "400", "--n-test", "150",
+            "--out", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "searched 4 candidates" in out
+        assert "STM32F072RB" in out
+        assert "frontier" in out
+        payload = artifact.read_text()
+        assert '"schema"' in payload and "search-v1" in payload
+
+    def test_search_env_count_knob(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SEARCH_COUNT", "2")
+        from repro.experiments.cache import clear_memory_cache
+
+        clear_memory_cache()
+        assert main([
+            "search", "--count", "24", "--stage2-epochs", "2",
+            "--epochs", "3", "--n-train", "400", "--n-test", "150",
+        ]) == 0
+        assert "searched 2 candidates" in capsys.readouterr().out
+
+
+class TestCachePrune:
+    def test_prune_lifecycle(self, tmp_path, monkeypatch, capsys):
+        import json as _json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cache_root = tmp_path / "cache"
+        cache_root.mkdir()
+        for key in ("fig0-v1-a", "fig0-v2-b", "other-v1-c"):
+            (cache_root / f"{key}.json").write_text(_json.dumps({}))
+
+        assert main(["cache-prune", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scanned 3 entries" in out and "would delete" in out
+
+        assert main(["cache-prune", "--stale-schemas"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1" in out
+        assert not (cache_root / "fig0-v1-a.json").exists()
+        assert (cache_root / "fig0-v2-b.json").exists()
+
+        assert main(["cache-prune", "--prefix", "other-"]) == 0
+        assert "deleted 1" in capsys.readouterr().out
+        assert (cache_root / "fig0-v2-b.json").exists()

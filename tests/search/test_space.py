@@ -1,0 +1,98 @@
+"""CandidateSpec identity and the prefix-stable sampler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search import CandidateSpec, enumerate_space, sample_space
+
+
+class TestCandidateSpec:
+    def test_key_is_stable_and_filename_safe(self):
+        spec = CandidateSpec(
+            strategy="quantization", hidden=(96, 48), threshold=0.84,
+            encoding="block", act_width=1,
+        )
+        assert spec.key == "quantization-96x48-t0.84-block-w1"
+        assert "/" not in spec.key and " " not in spec.key
+
+    def test_dict_roundtrip(self):
+        spec = CandidateSpec(
+            strategy="locality", hidden=(64,), threshold=0.92,
+            encoding="delta", act_width=2,
+        )
+        assert CandidateSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("bad", [
+        dict(strategy="nope", hidden=(48,), threshold=0.84,
+             encoding="block", act_width=1),
+        dict(strategy="random", hidden=(48,), threshold=0.84,
+             encoding="nope", act_width=1),
+        dict(strategy="random", hidden=(48,), threshold=0.84,
+             encoding="block", act_width=3),
+        dict(strategy="random", hidden=(48,), threshold=1.0,
+             encoding="block", act_width=1),
+        dict(strategy="random", hidden=(), threshold=0.84,
+             encoding="block", act_width=1),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            CandidateSpec(**bad)
+
+    def test_to_config_maps_threshold_to_density(self):
+        spec = CandidateSpec(
+            strategy="random", hidden=(48,), threshold=0.84,
+            encoding="csc", act_width=1,
+        )
+        config = spec.to_config(64, 10, seed=7)
+        assert config.strategy == "random"
+        assert config.threshold == 0.84
+        # density = (1 - t) / 2: 0.84 lands on the library default 0.08.
+        assert config.fixed_density == pytest.approx(0.08)
+        assert config.seed == 7
+        assert config.name == spec.key
+
+
+class TestSampleSpace:
+    def test_deterministic_and_distinct(self):
+        a = sample_space(16, seed=3)
+        b = sample_space(16, seed=3)
+        assert a == b
+        assert len({s.key for s in a}) == 16
+        assert sample_space(16, seed=4) != a
+
+    def test_prefix_stable(self):
+        # The staged-vs-flat benchmark contract: a smaller sample is
+        # always an exact prefix of a larger one.
+        small = sample_space(6, seed=0)
+        large = sample_space(24, seed=0)
+        assert large[:6] == small
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_space(0)
+
+    def test_exhaustion_raises(self, monkeypatch):
+        # Shrink the space to one spec so the attempt cap trips fast.
+        from repro.search import space
+
+        monkeypatch.setattr(space, "STRATEGY_CHOICES", ("random",))
+        monkeypatch.setattr(space, "HIDDEN_CHOICES", (32,))
+        monkeypatch.setattr(space, "DEPTH_CHOICES", (1,))
+        monkeypatch.setattr(space, "THRESHOLD_CHOICES", (0.84,))
+        monkeypatch.setattr(space, "ENCODING_CHOICES", ("block",))
+        monkeypatch.setattr(space, "ACT_WIDTH_CHOICES", (1,))
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            space.sample_space(2)
+
+
+class TestEnumerateSpace:
+    def test_cartesian_product(self):
+        specs = enumerate_space(
+            strategies=("quantization", "random"),
+            hiddens=((48,), (96,)),
+            thresholds=(0.84,),
+            encodings=("block",),
+            act_widths=(1, 2),
+        )
+        assert len(specs) == 8
+        assert len({s.key for s in specs}) == 8
